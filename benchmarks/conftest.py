@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+The figure benches are single-shot experiments: re-running them dozens
+of times for timing statistics would take hours and add nothing, so each
+uses ``benchmark.pedantic(..., rounds=1)``.  ``pytest benchmarks/
+--benchmark-only`` therefore reports one wall-clock measurement per
+figure plus the printed/persisted figure data under ``benchmarks/out/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `figutil` importable regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,68 @@
+"""Figure 3 — TLB-operation vs page-copy contributions to migration time
+across page counts and thread counts (preparation eliminated).
+
+Paper anchors: with few pages, copying dominates; TLB coherence grows to
+~65% of migration time at 512 pages / 32 threads.
+"""
+
+import pytest
+
+from figutil import save_figure
+from repro.metrics.reporting import render_table
+from repro.mm.migration_costs import MigrationCostModel
+
+PAGES = (2, 8, 32, 128, 512)
+THREADS = (2, 8, 32)
+
+
+def _run_fig3():
+    model = MigrationCostModel()
+    rows = []
+    for t in THREADS:
+        for p in PAGES:
+            shares = model.batch_shares(p, t)
+            tlb = model.batch_tlb_cycles(p, t)
+            copy = model.batch_copy_cycles(p)
+            rows.append([t, p, tlb, copy, shares["tlb"], shares["copy"]])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig3_rows():
+    return _run_fig3()
+
+
+def test_fig3_benchmark(benchmark):
+    benchmark.pedantic(_run_fig3, rounds=1, iterations=1)
+
+
+def test_fig3_table(fig3_rows):
+    text = render_table(
+        ["threads", "pages", "tlb_cycles", "copy_cycles", "tlb_share", "copy_share"],
+        fig3_rows,
+        title="Fig 3 — TLB vs copy contribution to migration time",
+    )
+    save_figure("fig3", text)
+
+
+def test_fig3_anchor_65_percent(fig3_rows):
+    peak = next(r for r in fig3_rows if r[0] == 32 and r[1] == 512)
+    assert peak[4] == pytest.approx(0.65, abs=0.005)
+
+
+def test_fig3_copy_dominates_small_batches(fig3_rows):
+    for r in fig3_rows:
+        if r[1] == 2 and r[0] <= 8:
+            assert r[5] > r[4], f"copy should dominate at P=2, T={r[0]}"
+
+
+def test_fig3_tlb_share_monotone_in_pages(fig3_rows):
+    for t in THREADS:
+        shares = [r[4] for r in fig3_rows if r[0] == t]
+        assert shares == sorted(shares)
+
+
+def test_fig3_tlb_share_monotone_in_threads(fig3_rows):
+    for p in PAGES:
+        shares = [r[4] for r in fig3_rows if r[1] == p]
+        assert shares == sorted(shares)

@@ -1,0 +1,108 @@
+"""Figure 8 — migration performance of TPP / Memtis / Nomad / Vulcan on
+the Nomad-style WSS/RSS microbenchmark.
+
+Three working-set scenarios (small/medium/large relative to the fast
+tier), Zipfian accesses, reporting read and write bandwidth during the
+*migration-in-progress* phase (first epochs, placement converging) and
+the *migration-stable* phase (last epochs).
+
+Paper anchor: Vulcan sustains the highest bandwidth, with the gap most
+pronounced once migration stabilizes.
+"""
+
+import numpy as np
+import pytest
+
+from figutil import APT, COLOC_SIM, save_figure
+from repro.harness import ColocationExperiment
+from repro.metrics.reporting import render_table
+from repro.workloads.microbench import scenario
+
+POLICIES = ("tpp", "memtis", "nomad", "vulcan")
+SCENARIOS = ("small", "medium", "large")
+EPOCHS = 24
+PROGRESS_WINDOW = slice(2, 8)  # migration in progress
+STABLE_WINDOW = slice(-6, None)  # migration stable
+READ_RATIO = 0.8
+BYTES_PER_ACCESS = 64
+
+
+def bandwidth_gbps(ops_per_epoch: float, epoch_seconds: float) -> float:
+    return ops_per_epoch * BYTES_PER_ACCESS / (epoch_seconds * 1e9)
+
+
+def _run_fig8():
+    fast_pages = None
+    rows = []
+    for scen in SCENARIOS:
+        for policy in POLICIES:
+            exp = ColocationExperiment(policy, [], sim=COLOC_SIM, seed=1)
+            if fast_pages is None:
+                fast_pages = exp.machine.fast.total_frames
+            wl = scenario(scen, fast_pages, seed=0, read_ratio=READ_RATIO, accesses_per_thread=APT)
+            exp.workload_defs = [wl]
+            res = exp.run(EPOCHS)
+            ts = res.by_name(wl.name)
+            ops = np.asarray(ts.ops)
+            for phase, window in (("in-progress", PROGRESS_WINDOW), ("stable", STABLE_WINDOW)):
+                total_bw = bandwidth_gbps(float(ops[window].mean()), COLOC_SIM.epoch_seconds)
+                rows.append([scen, policy, phase, total_bw * READ_RATIO, total_bw * (1 - READ_RATIO)])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig8_rows():
+    return _run_fig8()
+
+
+def test_fig8_benchmark(benchmark):
+    benchmark.pedantic(_run_fig8, rounds=1, iterations=1)
+
+
+def test_fig8_table(fig8_rows):
+    text = render_table(
+        ["wss", "policy", "phase", "read_GBps", "write_GBps"],
+        fig8_rows,
+        title="Fig 8 — microbenchmark bandwidth by policy / WSS / phase (higher is better)",
+    )
+    save_figure("fig8", text)
+
+
+def _lookup(rows, scen, policy, phase):
+    for r in rows:
+        if r[:3] == [scen, policy, phase]:
+            return r[3] + r[4]
+    raise KeyError((scen, policy, phase))
+
+
+def test_fig8_vulcan_leads_stable_phase(fig8_rows):
+    """Paper: Vulcan 'significantly outperforms other systems' in the
+    migration-stable phase."""
+    for scen in SCENARIOS:
+        vulcan = _lookup(fig8_rows, scen, "vulcan", "stable")
+        best_other = max(_lookup(fig8_rows, scen, p, "stable") for p in POLICIES if p != "vulcan")
+        assert vulcan >= 0.97 * best_other, f"vulcan not leading stable phase for {scen}"
+
+
+def test_fig8_vulcan_competitive_during_migration(fig8_rows):
+    for scen in SCENARIOS:
+        vulcan = _lookup(fig8_rows, scen, "vulcan", "in-progress")
+        best_other = max(_lookup(fig8_rows, scen, p, "in-progress") for p in POLICIES if p != "vulcan")
+        assert vulcan >= 0.90 * best_other
+
+
+def test_fig8_larger_wss_lower_bandwidth(fig8_rows):
+    """More of the working set misses fast memory as WSS grows."""
+    for policy in POLICIES:
+        small = _lookup(fig8_rows, "small", policy, "stable")
+        large = _lookup(fig8_rows, "large", policy, "stable")
+        assert small > large
+
+
+def test_fig8_stable_at_least_in_progress(fig8_rows):
+    """Once placement converges, bandwidth should not be worse than
+    during the heavy-migration phase (for the adaptive policies)."""
+    for scen in SCENARIOS:
+        v_stable = _lookup(fig8_rows, scen, "vulcan", "stable")
+        v_prog = _lookup(fig8_rows, scen, "vulcan", "in-progress")
+        assert v_stable >= 0.95 * v_prog

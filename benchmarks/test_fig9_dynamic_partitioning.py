@@ -1,0 +1,108 @@
+"""Figure 9 — Vulcan's dynamic behaviour under staggered co-location.
+
+Memcached starts at t=0, PageRank at t=50 s, Liblinear at t=110 s
+(paper §5.3, Table 2 RSS at the DESIGN.md scale).  Reproduces the three
+panels:
+
+(a) fast/slow placement (hot & cold pages per tier) per workload,
+(b) fast-tier hit ratio (FTHR) over time,
+(c) guaranteed performance target (GPT) over time.
+
+Shape anchors: every arrival steps existing GPTs down (GFMC shrinks);
+each workload's FTHR recovers after the arrival shocks; allocations
+rebalance instead of starving anyone.
+"""
+
+import numpy as np
+import pytest
+
+from figutil import APT, COLOC_SIM, TIMELINE_EPOCHS, save_figure
+from repro.harness import ColocationExperiment
+from repro.metrics.reporting import render_table
+from repro.workloads.mixes import PAPER_START_SECONDS, paper_colocation_mix
+
+NAMES = ("memcached", "pagerank", "liblinear")
+
+
+def _run_fig9():
+    wls = paper_colocation_mix(COLOC_SIM, accesses_per_thread=APT)
+    exp = ColocationExperiment("vulcan", wls, sim=COLOC_SIM, seed=1)
+    return exp.run(TIMELINE_EPOCHS)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return _run_fig9()
+
+
+def test_fig9_benchmark(benchmark):
+    benchmark.pedantic(_run_fig9, rounds=1, iterations=1)
+
+
+def test_fig9_panels(fig9):
+    parts = []
+    for name in NAMES:
+        ts = fig9.by_name(name)
+        rows = [
+            [e, fp, hf, cf, round(f, 3), round(fp_pol, 3), round(g, 3), q]
+            for e, fp, hf, cf, f, fp_pol, g, q in zip(
+                ts.epochs[::4], ts.fast_pages[::4], ts.hot_in_fast[::4],
+                ts.cold_in_fast[::4], ts.fthr_true[::4], ts.fthr_policy[::4],
+                ts.gpt[::4], ts.quota[::4],
+            )
+        ]
+        parts.append(
+            render_table(
+                ["epoch", "fast_pages", "hot_in_fast", "cold_in_fast",
+                 "FTHR(true)", "FTHR(vulcan)", "GPT", "quota"],
+                rows,
+                title=f"Fig 9 — {name} dynamics under Vulcan",
+            )
+        )
+    save_figure("fig9", "\n\n".join(parts))
+
+
+def epoch_of(seconds: float) -> int:
+    return int(seconds / COLOC_SIM.epoch_seconds)
+
+
+def test_fig9_c_gpt_steps_down_on_arrivals(fig9):
+    ts = fig9.by_name("memcached")
+    g = dict(zip(ts.epochs, ts.gpt))
+    before_pr = g[epoch_of(PAPER_START_SECONDS["pagerank"]) - 2]
+    after_pr = g[epoch_of(PAPER_START_SECONDS["pagerank"]) + 4]
+    after_ll = g[epoch_of(PAPER_START_SECONDS["liblinear"]) + 4]
+    assert before_pr > after_pr > after_ll, "GPT must step down as co-runners arrive"
+
+
+def test_fig9_b_fthr_tracks_vulcan_estimate(fig9):
+    """Vulcan's sampled FTHR (Eq. 1-2) must agree with ground truth."""
+    for name in NAMES:
+        ts = fig9.by_name(name)
+        true = np.asarray(ts.fthr_true[-10:])
+        est = np.asarray(ts.fthr_policy[-10:])
+        assert np.abs(true - est).mean() < 0.08
+
+
+def test_fig9_b_fthr_above_gpt_in_steady_state(fig9):
+    """The QoS controller holds every workload at or above its target."""
+    for name in NAMES:
+        ts = fig9.by_name(name)
+        assert np.mean(ts.fthr_true[-10:]) >= np.mean(ts.gpt[-10:]) - 0.05, name
+
+
+def test_fig9_a_no_one_starved(fig9):
+    """'Leave no one behind': every workload holds fast memory at the end."""
+    for name in NAMES:
+        ts = fig9.by_name(name)
+        assert ts.fast_pages[-1] > 100, f"{name} starved of fast memory"
+
+
+def test_fig9_a_memcached_cedes_capacity_fairly(fig9):
+    """Memcached starts with the whole tier; arrivals reclaim the slack
+    while its genuinely hot pages stay resident."""
+    ts = fig9.by_name("memcached")
+    assert ts.fast_pages[0] > 3000  # solo: holds nearly everything
+    assert ts.fast_pages[-1] < 1500  # steady: down to its needs
+    hot_ratio_end = ts.hot_ratio[-5:].mean()
+    assert hot_ratio_end > 0.5  # but its hot set survived

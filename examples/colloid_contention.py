@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The Colloid extension (§3.6): when is migration pointless?
+
+Under heavy bandwidth contention the fast tier's *loaded* latency can
+approach the slow tier's — at which point promoting more hot pages just
+moves the queue.  The paper proposes integrating Colloid's
+latency-balancing so Vulcan suspends migration in that regime.
+
+This script sweeps the loaded-latency ratio through the balancer and
+shows the hysteresis band, then runs a bandwidth-saturating co-location
+with `VulcanPolicy(colloid=True)` and reports how many epochs migration
+was suspended.
+
+Run:  python examples/colloid_contention.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.colloid import LatencyBalancer
+from repro.harness import ColocationExperiment
+from repro.metrics.reporting import render_table
+from repro.sim.config import SimulationConfig
+from repro.workloads.mixes import paper_colocation_mix
+
+
+def sweep_balancer() -> None:
+    b = LatencyBalancer(suspend_margin=0.10, resume_margin=0.25)
+    fast = 300.0
+    rows = []
+    # Advantage collapses, dithers inside the band, then recovers.
+    for ratio in (2.0, 1.5, 1.08, 1.15, 1.20, 1.08, 1.30, 1.40, 1.05, 1.35):
+        proceed = b.update(fast, fast * ratio)
+        rows.append([f"{ratio:.2f}", "migrate" if proceed else "SUSPENDED"])
+    print(render_table(
+        ["slow/fast loaded ratio", "decision"],
+        rows,
+        title="latency-balancer hysteresis (suspend <1.10, resume >1.25)",
+    ))
+    print(f"suspensions: {b.suspensions}, resumes: {b.resumes}\n")
+
+
+def run_contended() -> None:
+    sim = SimulationConfig(epoch_seconds=2.0)
+    # Crank intensity so tier bandwidth runs hot.
+    workloads = paper_colocation_mix(sim, accesses_per_thread=20_000)
+    exp = ColocationExperiment(
+        "vulcan", workloads, sim=sim, seed=1, policy_kwargs={"colloid": True}
+    )
+    print("running a bandwidth-heavy co-location with colloid=True ...")
+    res = exp.run(40)
+    balancer = exp.policy.balancer
+    rows = []
+    for ts in res.workloads.values():
+        rows.append([
+            ts.name,
+            ts.fast_pages[-1],
+            float(np.mean(ts.fthr_true[-8:])),
+            float(np.mean(ts.ops[-8:])),
+        ])
+    print(render_table(
+        ["workload", "fast_pages", "FTHR", "ops/epoch"],
+        rows,
+        title="steady state with latency balancing",
+        float_fmt="{:.3g}",
+    ))
+    print(f"\nbalancer: {balancer.suspensions} suspensions, {balancer.resumes} resumes; "
+          f"final advantage ratio {balancer.last_advantage_ratio:.2f}")
+
+
+if __name__ == "__main__":
+    sweep_balancer()
+    run_contended()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Reproduce the cold-page dilemma, then watch Vulcan fix it.
+
+Scenario (paper Fig. 1 / Fig. 10 condensed): Memcached, a latency-
+critical KV store, co-located with Liblinear, a best-effort ML trainer
+whose streaming scans monopolize absolute-count profilers.
+
+The script runs the pair under every registered policy and reports, for
+each: Memcached's hot-page ratio, its performance normalized to a solo
+run, and the pairwise fairness index — the paper's two headline metrics.
+
+Run:  python examples/colocation_fairness.py [--epochs 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core.classify import ServiceClass
+from repro.harness import ColocationExperiment
+from repro.metrics.fairness import cfi
+from repro.metrics.reporting import render_table
+from repro.sim.config import SimulationConfig
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.mixes import PAPER_RSS_BYTES, dilemma_pair
+
+POLICIES = ("none", "uniform", "tpp", "memtis", "nomad", "vulcan")
+
+
+def solo_memcached_baseline(sim: SimulationConfig, epochs: int, seed: int) -> float:
+    spec = WorkloadSpec(
+        name="memcached",
+        service=ServiceClass.LC,
+        rss_pages=sim.pages_for(PAPER_RSS_BYTES["memcached"]),
+        accesses_per_thread=5000,
+    )
+    exp = ColocationExperiment("memtis", [MemcachedWorkload(spec, seed=0)], sim=sim, seed=seed)
+    res = exp.run(epochs)
+    return res.by_name("memcached").mean_ops(epochs // 2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    sim = SimulationConfig()
+    print("measuring the standalone Memcached baseline ...")
+    solo_ops = solo_memcached_baseline(sim, args.epochs, args.seed)
+
+    rows = []
+    for policy in POLICIES:
+        print(f"co-locating under '{policy}' ...")
+        pair = dilemma_pair(sim, accesses_per_thread=5000)
+        exp = ColocationExperiment(policy, pair, sim=sim, seed=args.seed)
+        res = exp.run(args.epochs)
+        mc = res.by_name("memcached")
+        window = 8
+        alloc = {pid: np.asarray(ts.fast_pages[-window:], float) for pid, ts in res.workloads.items()}
+        fthr = {pid: np.asarray(ts.fthr_true[-window:], float) for pid, ts in res.workloads.items()}
+        rows.append([
+            policy,
+            float(np.mean(mc.hot_ratio[-window:])),
+            mc.mean_ops(args.epochs // 2) / solo_ops,
+            cfi(alloc, fthr),
+        ])
+
+    print()
+    print(render_table(
+        ["policy", "mc_hot_ratio", "mc_perf_vs_solo", "pair_CFI"],
+        rows,
+        title="Memcached (LC) + Liblinear (BE): who gets left behind?",
+    ))
+    print("\npaper anchors: under Memtis-style tiering, Memcached's normalized")
+    print("performance drops to ≈0.8×; Vulcan restores it while posting the best CFI.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Explore the calibrated migration cost model interactively.
+
+Prints the paper's three migration-cost stories from the same model the
+simulator charges:
+
+1. Fig. 2 — single-page migration breakdown vs CPU count (preparation
+   dominates at scale);
+2. Fig. 3 — TLB coherence vs copy share in batched migration;
+3. Fig. 7 — what Vulcan's two mechanism optimizations buy.
+
+Run:  python examples/migration_cost_explorer.py [--cpus 2 4 8 16 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.metrics.reporting import render_series, render_table
+from repro.mm.migration_costs import MigrationCostModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cpus", type=int, nargs="+", default=[2, 4, 8, 16, 32])
+    parser.add_argument("--pages", type=int, nargs="+", default=[2, 8, 32, 128, 512])
+    parser.add_argument("--threads", type=int, default=32)
+    args = parser.parse_args()
+
+    model = MigrationCostModel()
+
+    rows = []
+    for c in args.cpus:
+        b = model.single_page_breakdown(c)
+        rows.append(
+            [c, b.prep, b.unmap, b.shootdown, b.copy, b.remap, b.total, f"{b.prep_share:.1%}"]
+        )
+    print(render_table(
+        ["cpus", "prep", "unmap", "shootdown", "copy", "remap", "total", "prep%"],
+        rows,
+        title="Fig 2 — one 4 KiB page migration, cycles by phase",
+        float_fmt="{:.0f}",
+    ))
+
+    rows = []
+    for p in args.pages:
+        s = model.batch_shares(p, args.threads)
+        rows.append([p, s["tlb"], s["copy"], s["fixed"]])
+    print()
+    print(render_table(
+        ["pages", "tlb_share", "copy_share", "fixed_share"],
+        rows,
+        title=f"Fig 3 — batched migration phase shares at {args.threads} threads",
+    ))
+
+    speedups = []
+    for p in args.pages:
+        base = model.batch_total_cycles(p, args.threads, max(args.cpus))
+        both = model.batch_total_cycles(
+            p, args.threads, max(args.cpus), opt_prep=True, opt_tlb_target_cpus=1
+        )
+        speedups.append(base / both)
+    print()
+    print(render_series(
+        "Fig 7 — speedup of scoped-drain + scoped-shootdown vs batch size",
+        args.pages, speedups, y_fmt="{:.2f}x",
+    ))
+
+    print("\nanchors: 50K→750K cycles and 38.3%→76.9% prep share across 2→32 CPUs;")
+    print("TLB ops peak at 65% of migration time; 4.06× speedup for 2-page batches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Run a co-location experiment and print the steady-state summary::
+
+        python -m repro run --policy vulcan --epochs 60
+        python -m repro run --policy memtis --mix dilemma --epochs 25
+
+``compare``
+    Race several policies on the same mix and print the Fig. 10-style
+    normalized-performance and fairness table::
+
+        python -m repro compare --policies tpp memtis nomad vulcan
+
+``costs``
+    Print the calibrated migration cost model (Figures 2/3/7 data)::
+
+        python -m repro costs --cpus 2 8 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.harness import ColocationExperiment
+from repro.metrics.fairness import cfi
+from repro.metrics.perf import normalize_to_min
+from repro.metrics.reporting import render_table
+from repro.mm.migration_costs import MigrationCostModel
+from repro.policies import POLICY_REGISTRY
+from repro.sim.config import SimulationConfig
+from repro.workloads.mixes import dilemma_pair, paper_colocation_mix
+
+WINDOW = 10
+
+
+def _mix(name: str, sim: SimulationConfig, apt: int, seed: int):
+    if name == "paper":
+        return paper_colocation_mix(sim, seed=seed, accesses_per_thread=apt)
+    if name == "dilemma":
+        return dilemma_pair(sim, seed=seed, accesses_per_thread=apt)
+    raise SystemExit(f"unknown mix {name!r}: pick 'paper' or 'dilemma'")
+
+
+def _run_one(policy: str, mix: str, epochs: int, apt: int, seed: int):
+    sim = SimulationConfig(epoch_seconds=2.0)
+    exp = ColocationExperiment(policy, _mix(mix, sim, apt, seed), sim=sim, seed=seed)
+    return exp.run(epochs)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    res = _run_one(args.policy, args.mix, args.epochs, args.accesses, args.seed)
+    rows = []
+    for ts in res.workloads.values():
+        rows.append([
+            ts.name,
+            ts.rss_pages[-1],
+            ts.fast_pages[-1],
+            float(np.mean(ts.fthr_true[-WINDOW:])),
+            float(np.mean(ts.hot_ratio[-WINDOW:])),
+            float(np.mean(ts.ops[-WINDOW:])),
+        ])
+    print(render_table(
+        ["workload", "rss_pages", "fast_pages", "FTHR", "hot_ratio", "ops/epoch"],
+        rows,
+        title=f"policy={args.policy} mix={args.mix} epochs={args.epochs} (steady window {WINDOW})",
+        float_fmt="{:.3g}",
+    ))
+    alloc = {p: np.asarray(t.fast_pages[-WINDOW:], float) for p, t in res.workloads.items()}
+    fthr = {p: np.asarray(t.fthr_true[-WINDOW:], float) for p, t in res.workloads.items()}
+    print(f"\nCFI (Eq. 4, steady window): {cfi(alloc, fthr):.3f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    perf: dict[str, dict[str, float]] = {}
+    fairness: dict[str, float] = {}
+    names: list[str] = []
+    for policy in args.policies:
+        if policy not in POLICY_REGISTRY:
+            raise SystemExit(f"unknown policy {policy!r}; available: {sorted(POLICY_REGISTRY)}")
+        res = _run_one(policy, args.mix, args.epochs, args.accesses, args.seed)
+        names = [ts.name for ts in res.workloads.values()]
+        for ts in res.workloads.values():
+            perf.setdefault(ts.name, {})[policy] = float(np.mean(ts.ops[-WINDOW:]))
+        alloc = {p: np.asarray(t.fast_pages[-WINDOW:], float) for p, t in res.workloads.items()}
+        fthr = {p: np.asarray(t.fthr_true[-WINDOW:], float) for p, t in res.workloads.items()}
+        fairness[policy] = cfi(alloc, fthr)
+        print(f"  ran {policy}", file=sys.stderr)
+    rows = []
+    for name in names:
+        normed = normalize_to_min(perf[name])
+        for policy in args.policies:
+            rows.append([name, policy, normed[policy], perf[name][policy]])
+    print(render_table(
+        ["workload", "policy", "normalized", "ops/epoch"],
+        rows,
+        title=f"performance, mix={args.mix} (normalized to the lowest system)",
+        float_fmt="{:.3g}",
+    ))
+    print()
+    print(render_table(
+        ["policy", "CFI"],
+        [[p, fairness[p]] for p in args.policies],
+        title="fairness (FTHR-weighted CFI, higher is better)",
+    ))
+    return 0
+
+
+def cmd_costs(args: argparse.Namespace) -> int:
+    model = MigrationCostModel()
+    rows = []
+    for c in args.cpus:
+        b = model.single_page_breakdown(c)
+        rows.append([c, b.prep, b.shootdown, b.copy, b.total, f"{b.prep_share:.1%}"])
+    print(render_table(
+        ["cpus", "prep", "shootdown", "copy", "total", "prep%"],
+        rows,
+        title="single-page migration cost (cycles) — Fig 2 calibration",
+        float_fmt="{:.0f}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one policy on a co-location mix")
+    run.add_argument("--policy", default="vulcan", choices=sorted(POLICY_REGISTRY))
+    run.add_argument("--mix", default="paper", choices=["paper", "dilemma"])
+    run.add_argument("--epochs", type=int, default=60)
+    run.add_argument("--accesses", type=int, default=5000, help="accesses per thread per epoch")
+    run.add_argument("--seed", type=int, default=1)
+    run.set_defaults(func=cmd_run)
+
+    comp = sub.add_parser("compare", help="race several policies")
+    comp.add_argument("--policies", nargs="+", default=["tpp", "memtis", "nomad", "vulcan"])
+    comp.add_argument("--mix", default="paper", choices=["paper", "dilemma"])
+    comp.add_argument("--epochs", type=int, default=60)
+    comp.add_argument("--accesses", type=int, default=5000)
+    comp.add_argument("--seed", type=int, default=1)
+    comp.set_defaults(func=cmd_compare)
+
+    costs = sub.add_parser("costs", help="print the calibrated cost model")
+    costs.add_argument("--cpus", type=int, nargs="+", default=[2, 4, 8, 16, 32])
+    costs.set_defaults(func=cmd_costs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""Biased page migration policy (§3.5): promotion & demotion selection.
+
+Promotion: hot slow-tier candidates are classified per Table 1
+(ownership from the PTE thread-id bits, write intensity from profiled
+write fractions), enqueued into the four priority queues, and served
+within the workload's promotion budget.  The queue class also fixes the
+copy discipline — async (transactional) for read-intensive pages, sync
+for write-intensive ones.
+
+Demotion: coldest-first among the workload's fast-tier pages, with a
+preference for pages whose slow-tier shadow is still valid (remap-only
+demotion, near-free) — "reduces demotion costs by remapping non-dirty
+pages, which are often the read-intensive ... pages we previously
+prioritized for promotion".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classify import PageClass, classify_page
+from repro.core.queues import PromotionQueues
+from repro.mm import pte as pte_mod
+from repro.mm.frame_alloc import FrameAllocator
+from repro.mm.replication import ReplicatedPageTables
+from repro.mm.shadow import ShadowTracker
+from repro.profiling.base import Profiler
+
+
+@dataclass(frozen=True)
+class PlannedMigration:
+    """One selected page move."""
+
+    pid: int
+    vpn: int
+    dest_tier: int  # 0 = promote, 1 = demote
+    sync: bool
+    heat: float
+    page_class: PageClass | None = None
+    write_fraction: float = 0.0
+
+
+@dataclass
+class MigrationPlan:
+    """One epoch's selections for one workload."""
+
+    promotions: list[PlannedMigration] = field(default_factory=list)
+    demotions: list[PlannedMigration] = field(default_factory=list)
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.promotions) + len(self.demotions)
+
+
+class BiasedMigrationPolicy:
+    """Per-workload promotion/demotion selection with Table 1 bias."""
+
+    def __init__(
+        self,
+        *,
+        hot_threshold: float = 10.0,
+        boost_factor: float = 2.0,
+        write_intensive_threshold: float = 0.25,
+    ) -> None:
+        self.hot_threshold = hot_threshold
+        self.write_intensive_threshold = write_intensive_threshold
+        #: pid -> its promotion queues (workload-dependent, §3.2)
+        self._queues: dict[int, PromotionQueues] = {}
+        self._boost_factor = boost_factor
+
+    def queues_for(self, pid: int) -> PromotionQueues:
+        q = self._queues.get(pid)
+        if q is None:
+            q = PromotionQueues(boost_factor=self._boost_factor)
+            self._queues[pid] = q
+        return q
+
+    def forget(self, pid: int) -> None:
+        self._queues.pop(pid, None)
+
+    # -- promotion ----------------------------------------------------------
+
+    def refresh_candidates(
+        self,
+        pid: int,
+        profiler: Profiler,
+        repl: ReplicatedPageTables,
+        allocator: FrameAllocator,
+    ) -> int:
+        """Classify + enqueue the workload's hot slow-tier pages.
+
+        Returns the number of candidates enqueued this round.
+        """
+        queues = self.queues_for(pid)
+        enqueued = 0
+        for vpn, heat in profiler.hotness(pid).items():
+            if heat < self.hot_threshold:
+                continue
+            value = repl.lookup(vpn)
+            if value is None:
+                continue
+            pfn = pte_mod.pte_pfn(value)
+            if allocator.tier_of_pfn(pfn) != 1:
+                continue  # already fast
+            wf = profiler.write_fraction(pid, vpn)
+            cls = classify_page(
+                private=repl.is_private(vpn),
+                write_fraction=wf,
+                threshold=self.write_intensive_threshold,
+            )
+            queues.enqueue(pid, vpn, heat, cls)
+            enqueued += 1
+        return enqueued
+
+    def select_promotions(self, pid: int, budget: int, profiler: Profiler) -> list[PlannedMigration]:
+        """Serve up to ``budget`` promotions from the priority queues."""
+        if budget <= 0:
+            return []
+        queues = self.queues_for(pid)
+        out: list[PlannedMigration] = []
+        for qp in queues.pop(budget):
+            out.append(
+                PlannedMigration(
+                    pid=pid,
+                    vpn=qp.vpn,
+                    dest_tier=0,
+                    sync=not qp.effective_class.use_async_copy,
+                    heat=qp.heat,
+                    page_class=qp.effective_class,
+                    write_fraction=profiler.write_fraction(pid, qp.vpn),
+                )
+            )
+        return out
+
+    # -- demotion ------------------------------------------------------------
+
+    def select_demotions(
+        self,
+        pid: int,
+        n_pages: int,
+        profiler: Profiler,
+        repl: ReplicatedPageTables,
+        allocator: FrameAllocator,
+        shadow: ShadowTracker | None = None,
+        exclude: set[int] | None = None,
+    ) -> list[PlannedMigration]:
+        """Pick ``n_pages`` fast-tier victims, coldest first.
+
+        Shadowed clean pages are preferred at equal coldness (they demote
+        by remap); the sort key reflects that with a small bias rather
+        than an absolute preference, so a hot shadowed page is still kept
+        over a cold unshadowed one.
+        """
+        if n_pages <= 0:
+            return []
+        heat = profiler.hotness(pid)
+        skip = exclude or set()
+        candidates: list[tuple[float, int, int, bool]] = []  # (key, vpn, pfn, shadowed)
+        for vpn, value in repl.process_table.iter_ptes():
+            if vpn in skip:
+                continue
+            pfn = pte_mod.pte_pfn(value)
+            if allocator.tier_of_pfn(pfn) != 0:
+                continue
+            h = heat.get(vpn, 0.0)
+            shadowed = (
+                shadow is not None
+                and not pte_mod.pte_is_dirty(value)
+                and shadow.shadow_of(pfn) is not None
+            )
+            key = h * (0.5 if shadowed else 1.0)
+            candidates.append((key, vpn, pfn, shadowed))
+        candidates.sort(key=lambda t: (t[0], t[1]))
+        out: list[PlannedMigration] = []
+        for key, vpn, pfn, shadowed in candidates[:n_pages]:
+            out.append(
+                PlannedMigration(
+                    pid=pid,
+                    vpn=vpn,
+                    dest_tier=1,
+                    sync=True,  # demotions are off the hot path; shadow remap is cheap anyway
+                    heat=heat.get(vpn, 0.0),
+                )
+            )
+        return out

@@ -1,0 +1,75 @@
+"""Fast-tier partition ledger (§3.3 enforcement).
+
+CBFRP outputs a per-workload fast-memory quota; this ledger tracks
+actual usage against it and answers the two enforcement questions the
+migration layer asks every epoch:
+
+* may this workload promote another page? (usage < quota)
+* must this workload demote, and how many pages? (usage > quota, after
+  a CBFRP shrink or an RSS change)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PartitionLedger:
+    """Quota vs usage of fast-tier pages per workload."""
+
+    capacity_pages: int
+    quotas: dict[int, int] = field(default_factory=dict)
+    usage: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_pages <= 0:
+            raise ValueError("capacity must be positive")
+
+    def register(self, pid: int, quota_pages: int = 0) -> None:
+        if pid in self.quotas:
+            raise ValueError(f"pid {pid} already registered")
+        self.quotas[pid] = quota_pages
+        self.usage.setdefault(pid, 0)
+
+    def unregister(self, pid: int) -> None:
+        self.quotas.pop(pid, None)
+        self.usage.pop(pid, None)
+
+    def set_quotas(self, quotas: dict[int, int]) -> None:
+        """Install a fresh CBFRP allocation (must fit capacity)."""
+        total = sum(quotas.values())
+        if total > self.capacity_pages:
+            raise ValueError(f"quotas ({total}) exceed capacity ({self.capacity_pages})")
+        for pid, q in quotas.items():
+            if pid not in self.quotas:
+                raise KeyError(f"pid {pid} not registered")
+            if q < 0:
+                raise ValueError("quota cannot be negative")
+            self.quotas[pid] = q
+
+    def set_usage(self, pid: int, pages: int) -> None:
+        """Sync usage from the allocator's ground truth."""
+        if pages < 0:
+            raise ValueError("usage cannot be negative")
+        self.usage[pid] = pages
+
+    def add_usage(self, pid: int, delta: int) -> None:
+        new = self.usage.get(pid, 0) + delta
+        if new < 0:
+            raise ValueError(f"usage of pid {pid} would go negative")
+        self.usage[pid] = new
+
+    def headroom(self, pid: int) -> int:
+        """Pages this workload may still promote under its quota."""
+        return max(self.quotas.get(pid, 0) - self.usage.get(pid, 0), 0)
+
+    def overage(self, pid: int) -> int:
+        """Pages this workload must demote to respect its quota."""
+        return max(self.usage.get(pid, 0) - self.quotas.get(pid, 0), 0)
+
+    def total_usage(self) -> int:
+        return sum(self.usage.values())
+
+    def utilization(self) -> float:
+        return self.total_usage() / self.capacity_pages

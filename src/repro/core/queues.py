@@ -1,0 +1,142 @@
+"""Four-class priority promotion queues with MLFQ escalation (§3.5).
+
+Pages awaiting promotion are queued by their Table 1 class; within a
+queue the hottest page is served first.  A Multi-Level Feedback Queue
+rule prevents starvation: a page re-enqueued with grown heat escalates
+one priority level once its heat crosses ``boost_factor`` × the median
+heat of the class above it — "allowing pages to promote to
+higher-priority queues as their heat levels increase".
+
+Implementation: one max-heap per class keyed on (-heat, vpn), with lazy
+invalidation (a page re-enqueued with new heat leaves a stale entry that
+is skipped on pop) — the standard priority-queue-with-updates idiom.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.classify import PageClass
+
+
+@dataclass(frozen=True)
+class QueuedPage:
+    """A promotion candidate with its scheduling state."""
+
+    pid: int
+    vpn: int
+    heat: float
+    page_class: PageClass
+    #: effective class after MLFQ escalation (>= page_class)
+    effective_class: PageClass
+
+
+@dataclass
+class _Entry:
+    heat: float
+    stale: bool = False
+
+
+class PromotionQueues:
+    """The four Table 1 queues plus the MLFQ escalation rule."""
+
+    def __init__(self, boost_factor: float = 2.0) -> None:
+        if boost_factor <= 1.0:
+            raise ValueError("boost_factor must exceed 1")
+        self.boost_factor = boost_factor
+        #: effective class -> heap of (-heat, pid, vpn)
+        self._heaps: dict[PageClass, list[tuple[float, int, int]]] = {c: [] for c in PageClass}
+        #: (pid, vpn) -> live entry bookkeeping
+        self._live: dict[tuple[int, int], tuple[PageClass, _Entry]] = {}
+        self._heat_sum: dict[PageClass, float] = {c: 0.0 for c in PageClass}
+        self._heat_count: dict[PageClass, int] = {c: 0 for c in PageClass}
+        self.escalations = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def _mean_heat(self, cls: PageClass) -> float:
+        n = self._heat_count[cls]
+        return self._heat_sum[cls] / n if n else 0.0
+
+    def _escalate(self, base: PageClass, heat: float) -> PageClass:
+        """MLFQ: climb while heat dwarfs the population above."""
+        cls = base
+        while cls != PageClass.PRIVATE_READ:
+            above = PageClass(cls + 1)
+            ref = self._mean_heat(above)
+            if ref > 0.0 and heat >= self.boost_factor * ref:
+                cls = above
+                self.escalations += 1
+            else:
+                break
+        return cls
+
+    def enqueue(self, pid: int, vpn: int, heat: float, page_class: PageClass) -> PageClass:
+        """Add or refresh a candidate; returns its effective class."""
+        if heat < 0.0:
+            raise ValueError("heat must be non-negative")
+        key = (pid, vpn)
+        old = self._live.get(key)
+        if old is not None:
+            old_cls, entry = old
+            entry.stale = True
+            self._heat_sum[old_cls] -= entry.heat
+            self._heat_count[old_cls] -= 1
+        effective = self._escalate(page_class, heat)
+        entry = _Entry(heat=heat)
+        self._live[key] = (effective, entry)
+        heapq.heappush(self._heaps[effective], (-heat, pid, vpn))
+        self._heat_sum[effective] += heat
+        self._heat_count[effective] += 1
+        return effective
+
+    def pop(self, budget: int) -> list[QueuedPage]:
+        """Serve up to ``budget`` pages, highest class first, hottest
+        within class."""
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        out: list[QueuedPage] = []
+        for cls in sorted(PageClass, reverse=True):
+            heap = self._heaps[cls]
+            while heap and len(out) < budget:
+                neg_heat, pid, vpn = heapq.heappop(heap)
+                key = (pid, vpn)
+                live = self._live.get(key)
+                if live is None:
+                    continue  # already served or dropped
+                live_cls, entry = live
+                if live_cls != cls or entry.stale or entry.heat != -neg_heat:
+                    continue  # superseded by a re-enqueue
+                del self._live[key]
+                self._heat_sum[cls] -= entry.heat
+                self._heat_count[cls] -= 1
+                out.append(
+                    QueuedPage(pid=pid, vpn=vpn, heat=entry.heat, page_class=cls, effective_class=cls)
+                )
+            if len(out) >= budget:
+                break
+        return out
+
+    def drop(self, pid: int, vpn: int) -> bool:
+        """Remove a candidate (page demoted away, process exit)."""
+        live = self._live.pop((pid, vpn), None)
+        if live is None:
+            return False
+        cls, entry = live
+        entry.stale = True
+        self._heat_sum[cls] -= entry.heat
+        self._heat_count[cls] -= 1
+        return True
+
+    def drop_pid(self, pid: int) -> int:
+        """Remove every candidate of a process."""
+        keys = [k for k in self._live if k[0] == pid]
+        for k in keys:
+            self.drop(*k)
+        return len(keys)
+
+    def depth(self, cls: PageClass) -> int:
+        """Live candidates currently queued at ``cls``."""
+        return self._heat_count[cls]

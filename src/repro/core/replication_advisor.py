@@ -1,0 +1,112 @@
+"""Per-thread page-table replication cost/benefit advisor (§3.6).
+
+Replication "introduces memory and manipulation overhead, which can be
+problematic for some workloads, such as FaaS"; the paper suggests
+"automatically enabling/disabling the thread-level page table
+replication mechanism based on performance trade-offs".  This advisor
+implements that decision:
+
+* **cost** — the per-thread upper-level table pages (memory) plus the
+  fault-path manipulation overhead of leaf linking, amortized per epoch;
+* **benefit** — the IPI + invalidation cycles the scoped shootdowns
+  saved versus process-wide coherence, measured from the actual
+  migration traffic and sharing degrees.
+
+Short-lived, many-threaded, low-migration workloads (the FaaS shape)
+come out negative and are advised OFF; long-running workloads with
+private working sets and steady migration come out positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mm.migration_costs import BATCH_IPI_PER_CPU
+from repro.sim.units import PAGE_SIZE
+
+#: Fault-path cost of linking a shared leaf into a replica (cycles).
+LEAF_LINK_COST_CYCLES = 400.0
+#: Cycles-per-byte weight converting replica table memory into an
+#: equivalent recurring cost (opportunity cost of resident metadata).
+MEMORY_COST_CYCLES_PER_PAGE_EPOCH = 50.0
+
+
+@dataclass
+class ReplicationAdvice:
+    """One workload's verdict."""
+
+    pid: int
+    enable: bool
+    benefit_cycles_per_epoch: float
+    cost_cycles_per_epoch: float
+
+    @property
+    def net_cycles_per_epoch(self) -> float:
+        return self.benefit_cycles_per_epoch - self.cost_cycles_per_epoch
+
+
+class ReplicationAdvisor:
+    """Accumulates per-epoch evidence and issues enable/disable advice."""
+
+    def __init__(self, hysteresis: float = 1.2) -> None:
+        if hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1")
+        self.hysteresis = hysteresis
+        self._epochs: dict[int, int] = {}
+        self._saved_ipi_targets: dict[int, int] = {}
+        self._leaf_links: dict[int, int] = {}
+        self._replica_pages: dict[int, int] = {}
+        self._current: dict[int, bool] = {}
+
+    def note_epoch(
+        self,
+        pid: int,
+        *,
+        migrations: int,
+        avg_sharers: float,
+        n_threads: int,
+        new_leaf_links: int,
+        replica_upper_pages: int,
+    ) -> None:
+        """Record one epoch of evidence for ``pid``.
+
+        ``avg_sharers`` is the mean size of the sharing set among
+        migrated pages (1 = fully private traffic); process-wide
+        coherence would have targeted ``n_threads`` cores instead.
+        """
+        if migrations < 0 or new_leaf_links < 0:
+            raise ValueError("counters cannot be negative")
+        self._epochs[pid] = self._epochs.get(pid, 0) + 1
+        saved = int(migrations * max(n_threads - avg_sharers, 0.0))
+        self._saved_ipi_targets[pid] = self._saved_ipi_targets.get(pid, 0) + saved
+        self._leaf_links[pid] = self._leaf_links.get(pid, 0) + new_leaf_links
+        self._replica_pages[pid] = replica_upper_pages
+
+    def advise(self, pid: int) -> ReplicationAdvice:
+        epochs = max(self._epochs.get(pid, 0), 1)
+        benefit = self._saved_ipi_targets.get(pid, 0) * BATCH_IPI_PER_CPU / epochs
+        cost = (
+            self._leaf_links.get(pid, 0) * LEAF_LINK_COST_CYCLES / epochs
+            + self._replica_pages.get(pid, 0) * MEMORY_COST_CYCLES_PER_PAGE_EPOCH
+        )
+        was_on = self._current.get(pid, True)
+        # Hysteresis: flipping state requires a clear margin.
+        if was_on:
+            enable = benefit * self.hysteresis >= cost
+        else:
+            enable = benefit >= cost * self.hysteresis
+        self._current[pid] = enable
+        return ReplicationAdvice(
+            pid=pid,
+            enable=enable,
+            benefit_cycles_per_epoch=benefit,
+            cost_cycles_per_epoch=cost,
+        )
+
+    def replica_memory_bytes(self, pid: int) -> int:
+        """Resident replica overhead in bytes (table pages × 4 KiB)."""
+        return self._replica_pages.get(pid, 0) * PAGE_SIZE
+
+    def forget(self, pid: int) -> None:
+        for d in (self._epochs, self._saved_ipi_targets, self._leaf_links, self._replica_pages, self._current):
+            d.pop(pid, None)

@@ -1,0 +1,126 @@
+"""Admission control and black-box service classification (§3.2/§3.3).
+
+The migration daemon "operates exclusively on a controlled set of
+whitelisted applications managed by the system administrator", and
+classifies black-box workloads as LC or BE "based on resource
+utilization patterns" (citing Themis).  This module implements both:
+
+* :class:`Whitelist` — the admin-controlled admission set, with an
+  optional default-deny posture;
+* :class:`ServiceClassifier` — observes per-epoch utilization of each
+  managed workload and derives LC/BE from mean utilization and
+  burstiness (coefficient of variation), re-evaluating on a rolling
+  window so phase changes are tracked.  A declared class always wins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classify import ServiceClass, WorkloadSignals, classify_service
+from repro.metrics.stats import coefficient_of_variation
+
+
+class NotWhitelistedError(PermissionError):
+    """A workload outside the admin whitelist asked for management."""
+
+
+@dataclass
+class Whitelist:
+    """The administrator's set of manageable applications.
+
+    ``default_allow=True`` turns the whitelist into an audit log only
+    (useful for experiments); production posture is default-deny.
+    """
+
+    default_allow: bool = False
+    _allowed: set[str] = field(default_factory=set)
+    _denied_attempts: list[str] = field(default_factory=list)
+
+    def allow(self, name: str) -> None:
+        self._allowed.add(name)
+
+    def revoke(self, name: str) -> None:
+        self._allowed.discard(name)
+
+    def is_allowed(self, name: str) -> bool:
+        return self.default_allow or name in self._allowed
+
+    def check(self, name: str) -> None:
+        """Raise unless ``name`` may be managed (records the attempt)."""
+        if not self.is_allowed(name):
+            self._denied_attempts.append(name)
+            raise NotWhitelistedError(f"workload {name!r} is not whitelisted for tiering management")
+
+    @property
+    def denied_attempts(self) -> list[str]:
+        return list(self._denied_attempts)
+
+
+@dataclass
+class _History:
+    declared: ServiceClass | None
+    utilization: deque[float] = field(default_factory=lambda: deque(maxlen=16))
+    current: ServiceClass = ServiceClass.LC  # conservative default
+
+
+class ServiceClassifier:
+    """Rolling LC/BE classification from observed issue rates.
+
+    Call :meth:`observe` once per epoch with the fraction of the access
+    budget the workload actually used; :meth:`service_of` returns the
+    current classification.  Needs ``min_window`` observations before it
+    overrides the conservative LC default.
+    """
+
+    def __init__(self, min_window: int = 4, utilization_cut: float = 0.7, burstiness_cut: float = 0.5) -> None:
+        if min_window < 1:
+            raise ValueError("min_window must be >= 1")
+        self.min_window = min_window
+        self.utilization_cut = utilization_cut
+        self.burstiness_cut = burstiness_cut
+        self._workloads: dict[int, _History] = {}
+        self.reclassifications = 0
+
+    def register(self, pid: int, declared: ServiceClass | None = None) -> None:
+        if pid in self._workloads:
+            raise ValueError(f"pid {pid} already registered")
+        self._workloads[pid] = _History(declared=declared)
+        if declared is not None:
+            self._workloads[pid].current = declared
+
+    def unregister(self, pid: int) -> None:
+        self._workloads.pop(pid, None)
+
+    def observe(self, pid: int, utilization: float) -> ServiceClass:
+        """Feed one epoch's observed issue-rate; returns the (possibly
+        updated) classification."""
+        h = self._workloads.get(pid)
+        if h is None:
+            raise KeyError(f"pid {pid} not registered")
+        h.utilization.append(float(np.clip(utilization, 0.0, 1.0)))
+        if h.declared is not None:
+            return h.declared
+        if len(h.utilization) >= self.min_window:
+            signals = WorkloadSignals(
+                mean_utilization=float(np.mean(h.utilization)),
+                burstiness=coefficient_of_variation(list(h.utilization)),
+            )
+            new = classify_service(
+                signals,
+                utilization_cut=self.utilization_cut,
+                burstiness_cut=self.burstiness_cut,
+            )
+            if new is not h.current:
+                self.reclassifications += 1
+                h.current = new
+        return h.current
+
+    def service_of(self, pid: int) -> ServiceClass:
+        h = self._workloads.get(pid)
+        if h is None:
+            raise KeyError(f"pid {pid} not registered")
+        return h.current

@@ -1,0 +1,23 @@
+"""Experiment harness: the epoch-driven co-location simulator and the
+per-figure experiment entry points."""
+
+from repro.harness.experiment import (
+    ColocationExperiment,
+    ExperimentResult,
+    WorkloadTimeseries,
+)
+
+from repro.harness.export import to_json, to_rows, write_csv, write_json
+from repro.harness.sweeps import Sweep, SweepCell
+
+__all__ = [
+    "ColocationExperiment",
+    "ExperimentResult",
+    "WorkloadTimeseries",
+    "Sweep",
+    "SweepCell",
+    "to_rows",
+    "to_json",
+    "write_csv",
+    "write_json",
+]

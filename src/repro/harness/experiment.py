@@ -1,0 +1,338 @@
+"""The epoch-driven co-location simulator (DESIGN.md §4).
+
+Each epoch (default 1 simulated second):
+
+1. workloads whose start epoch arrived are admitted: a process is
+   created (with or without page-table replication, per the policy),
+   its threads pinned to a dedicated 8-core block, its RSS faulted in
+   fast-first-with-fallback (Linux allocation order);
+2. every active workload generates per-thread access batches; the
+   batches update frame counters (ground truth), feed the policy's
+   profiler, and produce FTHR samples;
+3. the policy runs its end-of-epoch pass (profiler rollover + planned
+   migrations through each workload's engine);
+4. per-workload performance is computed from achieved memory latency:
+   ``ops = Σ_threads usable_budget / cost_per_access`` where the cost
+   folds tier latencies (bandwidth-loaded), a TLB-reach miss estimate,
+   and the epoch's migration stalls / profiling faults charged to that
+   workload.
+
+Everything recorded lands in :class:`ExperimentResult` timeseries so
+the figure benches can print exactly the series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.platform import Machine
+from repro.mm import pte as pte_mod
+from repro.mm.address_space import AddressSpace, Process
+from repro.mm.frame_alloc import FrameAllocator
+from repro.mm.lru import LruSubsystem
+from repro.policies import POLICY_REGISTRY
+from repro.policies.base import TieringPolicy
+from repro.sim.config import MachineConfig, SimulationConfig
+from repro.sim.units import seconds_to_cycles
+from repro.workloads.base import Workload
+
+#: CPU work per access outside the memory system (address gen, compute).
+CPU_WORK_PER_ACCESS_CYCLES = 60.0
+#: Bytes touched per access for bandwidth-utilization purposes.
+BYTES_PER_ACCESS = 64
+#: Ground-truth hotness cut: accesses/epoch for a page to count "hot"
+#: in the Fig. 1-style hot/cold accounting.
+HOT_ACCESS_CUT = 8
+
+
+@dataclass
+class WorkloadTimeseries:
+    """Everything recorded for one workload, one value per active epoch."""
+
+    pid: int
+    name: str
+    epochs: list[int] = field(default_factory=list)
+    ops: list[float] = field(default_factory=list)
+    avg_access_cycles: list[float] = field(default_factory=list)
+    fast_pages: list[int] = field(default_factory=list)
+    rss_pages: list[int] = field(default_factory=list)
+    fthr_true: list[float] = field(default_factory=list)
+    hot_pages: list[int] = field(default_factory=list)
+    hot_in_fast: list[int] = field(default_factory=list)
+    cold_in_fast: list[int] = field(default_factory=list)
+    promotions: list[int] = field(default_factory=list)
+    demotions: list[int] = field(default_factory=list)
+    stall_cycles: list[float] = field(default_factory=list)
+    # Vulcan-only introspection (zeros elsewhere):
+    fthr_policy: list[float] = field(default_factory=list)
+    gpt: list[float] = field(default_factory=list)
+    quota: list[int] = field(default_factory=list)
+
+    @property
+    def hot_ratio(self) -> np.ndarray:
+        """Fraction of this workload's hot pages resident in fast memory."""
+        hot = np.asarray(self.hot_pages, dtype=np.float64)
+        fast = np.asarray(self.hot_in_fast, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r = np.where(hot > 0, fast / hot, 0.0)
+        return r
+
+    def mean_ops(self, skip: int = 0) -> float:
+        """Average achieved ops/epoch, optionally skipping warmup."""
+        vals = self.ops[skip:]
+        return float(np.mean(vals)) if vals else 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one :class:`ColocationExperiment` run."""
+
+    policy_name: str
+    n_epochs: int
+    workloads: dict[int, WorkloadTimeseries] = field(default_factory=dict)
+    free_fast_pages: list[int] = field(default_factory=list)
+    migration_cycles: list[float] = field(default_factory=list)
+
+    def by_name(self, name: str) -> WorkloadTimeseries:
+        for ts in self.workloads.values():
+            if ts.name == name:
+                return ts
+        raise KeyError(f"no workload named {name!r}")
+
+    def alloc_series(self) -> dict[int, np.ndarray]:
+        """pid → fast-page allocation per active epoch (CFI's x_i(t))."""
+        return {pid: np.asarray(ts.fast_pages, dtype=np.float64) for pid, ts in self.workloads.items()}
+
+    def fthr_series(self) -> dict[int, np.ndarray]:
+        """pid → ground-truth FTHR per active epoch (CFI's FTHR_i(t))."""
+        return {pid: np.asarray(ts.fthr_true, dtype=np.float64) for pid, ts in self.workloads.items()}
+
+
+class ColocationExperiment:
+    """Build a machine + policy + workloads and run the epoch loop."""
+
+    def __init__(
+        self,
+        policy: str | TieringPolicy,
+        workloads: list[Workload],
+        *,
+        machine_config: MachineConfig | None = None,
+        sim: SimulationConfig | None = None,
+        seed: int = 0,
+        cores_per_workload: int = 8,
+        policy_kwargs: dict | None = None,
+    ) -> None:
+        self.sim = sim if sim is not None else SimulationConfig()
+        mc = machine_config if machine_config is not None else MachineConfig()
+        self.machine = Machine(mc, page_size=self.sim.page_unit_bytes, rng=np.random.default_rng(seed))
+        self.allocator = FrameAllocator(
+            fast_frames=self.machine.fast.total_frames,
+            slow_frames=self.machine.slow.total_frames,
+        )
+        self.lru = LruSubsystem(n_cpus=mc.n_cores)
+        if isinstance(policy, str):
+            cls = POLICY_REGISTRY[policy]
+            self.policy: TieringPolicy = cls(
+                self.machine, self.allocator, self.lru, seed=seed, **(policy_kwargs or {})
+            )
+        else:
+            self.policy = policy
+        self.workload_defs = list(workloads)
+        self.seed = seed
+        self.cores_per_workload = cores_per_workload
+        self._next_pid = 100
+        self._active: dict[int, Workload] = {}
+        self._spaces: dict[int, AddressSpace] = {}
+        self._core_cursor = 0
+        self.epoch_cycles = seconds_to_cycles(self.sim.epoch_seconds)
+
+    # -- admission ---------------------------------------------------------------
+
+    def _admit(self, wl: Workload, epoch: int) -> None:
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = Process(pid=pid, name=wl.name, replication_enabled=self.policy.replication_enabled)
+        n_threads = wl.spec.n_threads
+        base_core = self._core_cursor
+        if base_core + self.cores_per_workload > self.machine.cpu.n_cores:
+            raise RuntimeError("out of dedicated core blocks for new workloads")
+        self._core_cursor += self.cores_per_workload
+        core_map: dict[int, int] = {}
+        for tid in range(n_threads):
+            proc.spawn_thread(tid)
+            core = base_core + (tid % self.cores_per_workload)
+            self.machine.cpu.schedule_thread(tid, core)  # local tid on its core
+            core_map[tid] = core
+
+        vma = proc.mmap(wl.spec.rss_pages, name=f"{wl.name}-rss")
+        wl.bind(pid, vma)  # bind first: first_touch_tid may need region layout
+        space = AddressSpace(proc, self.allocator)
+        # First touch sets PTE ownership (§3.4): the workload says which
+        # thread faults each page in (its own shard vs shared structures).
+        for i, vpn in enumerate(range(vma.start_vpn, vma.end_vpn)):
+            tid = wl.first_touch_tid(i) % n_threads
+            space.fault(vpn, tid=tid, prefer_tier=wl.spec.populate_tier)
+            page_pfn = space.translate(vpn)
+            assert page_pfn is not None
+            self.lru.add_page(page_pfn, self.allocator.tier_of_pfn(page_pfn), core_map[tid])
+        self.lru.drain(None)  # initial bulk drain, not charged to anyone
+
+        # Rough per-page access rate for the transactional dirty model.
+        total_rate = wl.spec.n_threads * wl.spec.accesses_per_thread
+        rate_per_kcycle = total_rate / self.epoch_cycles * 1_000.0
+        per_page_rate = rate_per_kcycle / max(wl.wss_pages(), 1)
+        self.policy.register_workload(
+            pid,
+            wl.name,
+            space,
+            wl.service,
+            core_map,
+            access_rate_per_kcycle=per_page_rate * 1_000.0,  # hot pages are ~1000x mean
+        )
+        self._active[pid] = wl
+        self._spaces[pid] = space
+
+    # -- the loop ----------------------------------------------------------------
+
+    def run(self, n_epochs: int) -> ExperimentResult:
+        result = ExperimentResult(policy_name=self.policy.name, n_epochs=n_epochs)
+        pending = sorted(self.workload_defs, key=lambda w: w.spec.start_epoch)
+        for epoch in range(n_epochs):
+            # 1. admissions
+            while pending and pending[0].spec.start_epoch <= epoch:
+                self._admit(pending.pop(0), epoch)
+
+            # 2. traffic
+            epoch_hits: dict[int, tuple[int, int]] = {}
+            epoch_issue: dict[int, float] = {}
+            for pid, wl in self._active.items():
+                space = self._spaces[pid]
+                fast_total = 0
+                slow_total = 0
+                issued = 0
+                epoch_issue[pid] = wl.issue_rate(epoch)
+                for batch in wl.generate(epoch):
+                    f, s = space.record_batch(batch.vpns, batch.is_write, batch.tid, cycle=epoch)
+                    fast_total += f
+                    slow_total += s
+                    issued += batch.n
+                    self.policy.observe(batch)
+                    self.policy.record_tier_sample(pid, f, s)
+                epoch_hits[pid] = (fast_total, slow_total)
+
+            # 3. policy pass (migrations), informed of loaded latencies
+            utilization = self._tier_utilization(epoch_hits)
+            self.policy.note_tier_latency(
+                self.machine.fast.access_latency_cycles(utilization[0]),
+                self.machine.slow.access_latency_cycles(utilization[1]) + self.machine.link.added_latency_cycles,
+            )
+            policy_result = self.policy.end_epoch()
+            result.migration_cycles.append(policy_result.migration_cycles)
+
+            # 4. record + performance
+            for pid, wl in self._active.items():
+                self._record_epoch(
+                    result, pid, wl, epoch, epoch_hits[pid], epoch_issue[pid],
+                    policy_result, utilization,
+                )
+            result.free_fast_pages.append(self.allocator.free_frames(0))
+            self._reset_page_epoch_counters()
+        return result
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _tier_utilization(self, epoch_hits: dict[int, tuple[int, int]]) -> tuple[float, float]:
+        """Consumed/peak bandwidth per tier from this epoch's traffic."""
+        fast_bytes = sum(f for f, _ in epoch_hits.values()) * BYTES_PER_ACCESS
+        slow_bytes = sum(s for _, s in epoch_hits.values()) * BYTES_PER_ACCESS
+        epoch_ns = self.sim.epoch_seconds * 1e9
+        u_fast = (fast_bytes / epoch_ns) / self.machine.fast.config.bandwidth_gbps
+        u_slow = (slow_bytes / epoch_ns) / self.machine.slow.config.bandwidth_gbps
+        return (min(u_fast, 0.95), min(u_slow, 0.95))
+
+    def _record_epoch(
+        self,
+        result: ExperimentResult,
+        pid: int,
+        wl: Workload,
+        epoch: int,
+        hits: tuple[int, int],
+        issue_rate: float,
+        policy_result,
+        utilization: tuple[float, float],
+    ) -> None:
+        ts = result.workloads.get(pid)
+        if ts is None:
+            ts = WorkloadTimeseries(pid=pid, name=wl.name)
+            result.workloads[pid] = ts
+
+        fast_hits, slow_hits = hits
+        total = fast_hits + slow_hits
+        fthr = fast_hits / total if total else 0.0
+
+        lat_fast = self.machine.fast.access_latency_cycles(utilization[0])
+        lat_slow = self.machine.slow.access_latency_cycles(utilization[1]) + self.machine.link.added_latency_cycles
+        avg_mem = (fast_hits * lat_fast + slow_hits * lat_slow) / total if total else lat_fast
+
+        # TLB-reach miss estimate: WSS beyond reach pays a walk.
+        reach = self.machine.config.tlb_entries
+        wss = max(wl.wss_pages(), 1)
+        tlb_miss_rate = max(0.0, 1.0 - reach / wss)
+        tlb_pen = tlb_miss_rate * (self.machine.config.tlb_miss_penalty_ns * 3.0)
+
+        cost = CPU_WORK_PER_ACCESS_CYCLES + avg_mem + tlb_pen
+
+        n_threads = wl.spec.n_threads
+        budget = self.epoch_cycles * issue_rate * n_threads
+        stall = policy_result.stall_cycles.get(pid, 0.0)
+        prof = policy_result.profiling_app_cycles.get(pid, 0.0)
+        usable = max(budget - stall - prof, 0.0)
+        ops = usable / cost if cost > 0 else 0.0
+
+        hot_pages, hot_in_fast, cold_in_fast, fast_pages = self._ground_truth_hotness(pid)
+
+        ts.epochs.append(epoch)
+        ts.ops.append(ops)
+        ts.avg_access_cycles.append(cost)
+        ts.fast_pages.append(fast_pages)
+        ts.rss_pages.append(self._spaces[pid].process.rss_pages)
+        ts.fthr_true.append(fthr)
+        ts.hot_pages.append(hot_pages)
+        ts.hot_in_fast.append(hot_in_fast)
+        ts.cold_in_fast.append(cold_in_fast)
+        ts.promotions.append(policy_result.promotions.get(pid, 0))
+        ts.demotions.append(policy_result.demotions.get(pid, 0))
+        ts.stall_cycles.append(stall)
+
+        # Vulcan introspection when available.
+        fthr_p = getattr(self.policy, "fthr", None)
+        ts.fthr_policy.append(float(fthr_p(pid)) if callable(fthr_p) else 0.0)
+        gpt_p = getattr(self.policy, "gpt", None)
+        ts.gpt.append(float(gpt_p(pid)) if callable(gpt_p) else 0.0)
+        quota_p = getattr(self.policy, "quota", None)
+        ts.quota.append(int(quota_p(pid)) if callable(quota_p) else 0)
+
+    def _ground_truth_hotness(self, pid: int) -> tuple[int, int, int, int]:
+        """(hot pages, hot∧fast, cold∧fast, fast pages) from frame counters."""
+        space = self._spaces[pid]
+        hot = hot_fast = cold_fast = fast = 0
+        for _vpn, value in space.process.repl.process_table.iter_ptes():
+            pfn = pte_mod.pte_pfn(value)
+            page = self.allocator.page(pfn)
+            in_fast = self.allocator.tier_of_pfn(pfn) == 0
+            is_hot = (page.epoch_reads + page.epoch_writes) >= HOT_ACCESS_CUT
+            if in_fast:
+                fast += 1
+            if is_hot:
+                hot += 1
+                if in_fast:
+                    hot_fast += 1
+            elif in_fast:
+                cold_fast += 1
+        return (hot, hot_fast, cold_fast, fast)
+
+    def _reset_page_epoch_counters(self) -> None:
+        for page in self.allocator.mapped_pages():
+            page.reset_epoch_counters()

@@ -1,0 +1,140 @@
+"""Programmatic per-figure experiment entry points.
+
+The benchmark suite (`benchmarks/test_fig*.py`) asserts shapes and
+persists text tables; these functions are the *library* API behind
+them, so downstream code can regenerate any paper figure's data as
+plain Python objects:
+
+    from repro.harness.figures import fig2_breakdown, fig10_comparison
+    rows = fig2_breakdown()                # list of dataclasses
+    perf, fairness = fig10_comparison(trials=3)
+
+Heavy figures accept scale knobs so callers choose their budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.harness.experiment import ColocationExperiment, ExperimentResult
+from repro.metrics.fairness import cfi
+from repro.mm.migration_costs import MigrationCostModel
+from repro.sim.config import SimulationConfig
+from repro.workloads.mixes import dilemma_pair, paper_colocation_mix
+
+DEFAULT_SIM = SimulationConfig(epoch_seconds=2.0)
+POLICIES = ("tpp", "memtis", "nomad", "vulcan")
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One Fig. 2 bar."""
+
+    cpus: int
+    prep: float
+    unmap: float
+    shootdown: float
+    copy: float
+    remap: float
+
+    @property
+    def total(self) -> float:
+        return self.prep + self.unmap + self.shootdown + self.copy + self.remap
+
+
+def fig1_dilemma(
+    *, epochs: int = 25, accesses_per_thread: int = 5000, seed: int = 1
+) -> tuple[ExperimentResult, ExperimentResult]:
+    """(solo-Memcached, co-located) results under Memtis."""
+    from repro.core.classify import ServiceClass
+    from repro.workloads.base import WorkloadSpec
+    from repro.workloads.memcached import MemcachedWorkload
+    from repro.workloads.mixes import PAPER_RSS_BYTES
+
+    sim = SimulationConfig()
+    solo_wl = MemcachedWorkload(
+        WorkloadSpec(
+            name="memcached",
+            service=ServiceClass.LC,
+            rss_pages=sim.pages_for(PAPER_RSS_BYTES["memcached"]),
+            accesses_per_thread=accesses_per_thread,
+        ),
+        seed=0,
+    )
+    solo = ColocationExperiment("memtis", [solo_wl], sim=sim, seed=seed).run(epochs)
+    co = ColocationExperiment(
+        "memtis", dilemma_pair(sim, accesses_per_thread=accesses_per_thread), sim=sim, seed=seed
+    ).run(epochs)
+    return solo, co
+
+
+def fig2_breakdown(cpu_counts: tuple[int, ...] = (2, 4, 8, 16, 32)) -> list[BreakdownRow]:
+    model = MigrationCostModel()
+    out = []
+    for c in cpu_counts:
+        b = model.single_page_breakdown(c)
+        out.append(BreakdownRow(cpus=c, prep=b.prep, unmap=b.unmap, shootdown=b.shootdown, copy=b.copy, remap=b.remap))
+    return out
+
+
+def fig3_shares(
+    pages: tuple[int, ...] = (2, 8, 32, 128, 512),
+    threads: tuple[int, ...] = (2, 8, 32),
+) -> dict[tuple[int, int], dict[str, float]]:
+    """(threads, pages) → {tlb, copy, fixed} shares."""
+    model = MigrationCostModel()
+    return {(t, p): model.batch_shares(p, t) for t in threads for p in pages}
+
+
+def fig7_speedups(
+    page_counts: tuple[int, ...] = (2, 8, 32, 128, 512), n_cpus: int = 32
+) -> dict[int, tuple[float, float]]:
+    """pages → (prep-opt speedup, prep+tlb-opt speedup)."""
+    model = MigrationCostModel()
+    out = {}
+    for p in page_counts:
+        base = model.batch_total_cycles(p, n_cpus, n_cpus)
+        s1 = base / model.batch_total_cycles(p, n_cpus, n_cpus, opt_prep=True)
+        s2 = base / model.batch_total_cycles(p, n_cpus, n_cpus, opt_prep=True, opt_tlb_target_cpus=1)
+        out[p] = (s1, s2)
+    return out
+
+
+def fig9_timeline(
+    *, epochs: int = 80, accesses_per_thread: int = 5000, seed: int = 1
+) -> ExperimentResult:
+    """The three-app Vulcan timeline behind panels (a)-(c)."""
+    wls = paper_colocation_mix(DEFAULT_SIM, accesses_per_thread=accesses_per_thread)
+    return ColocationExperiment("vulcan", wls, sim=DEFAULT_SIM, seed=seed).run(epochs)
+
+
+def fig10_comparison(
+    *,
+    trials: int = 2,
+    epochs: int = 80,
+    accesses_per_thread: int = 5000,
+    policies: tuple[str, ...] = POLICIES,
+    steady_window: int = 15,
+) -> tuple[dict[str, dict[str, list[float]]], dict[str, list[float]]]:
+    """(perf[workload][policy] -> per-trial ops, fairness[policy] -> per-trial CFI)."""
+    names = ("memcached", "pagerank", "liblinear")
+    perf: dict[str, dict[str, list[float]]] = {n: {p: [] for p in policies} for n in names}
+    fairness: dict[str, list[float]] = {p: [] for p in policies}
+    for trial in range(trials):
+        for policy in policies:
+            wls = paper_colocation_mix(DEFAULT_SIM, seed=trial * 10, accesses_per_thread=accesses_per_thread)
+            res = ColocationExperiment(policy, wls, sim=DEFAULT_SIM, seed=trial + 1).run(epochs)
+            for name in names:
+                try:
+                    ts = res.by_name(name)
+                except KeyError:
+                    # Too few epochs for this workload's start time.
+                    perf[name][policy].append(float("nan"))
+                    continue
+                perf[name][policy].append(float(np.mean(ts.ops[-steady_window:])))
+            alloc = {pid: np.asarray(ts.fast_pages[-steady_window:], float) for pid, ts in res.workloads.items()}
+            fthr = {pid: np.asarray(ts.fthr_true[-steady_window:], float) for pid, ts in res.workloads.items()}
+            fairness[policy].append(cfi(alloc, fthr))
+    return perf, fairness

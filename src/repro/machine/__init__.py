@@ -1,0 +1,27 @@
+"""Hardware substrate: cores, TLBs, memory tiers, interconnect.
+
+These models are *structural plus cost-accounted*: the TLB really holds
+translations and really gets invalidated by shootdowns (so the scope
+reduction from per-thread page tables is observable), while latencies and
+IPI costs come from the calibrated constants in
+:mod:`repro.mm.migration_costs` and :mod:`repro.sim.config`.
+"""
+
+from repro.machine.cpu import Core, CpuComplex, IpiStats
+from repro.machine.interconnect import Interconnect
+from repro.machine.memtier import MemoryTier, TierStats
+from repro.machine.platform import Machine, build_machine
+from repro.machine.tlb import Tlb, TlbStats
+
+__all__ = [
+    "Core",
+    "CpuComplex",
+    "IpiStats",
+    "Interconnect",
+    "MemoryTier",
+    "TierStats",
+    "Machine",
+    "build_machine",
+    "Tlb",
+    "TlbStats",
+]

@@ -1,0 +1,48 @@
+"""Cross-tier interconnect (UPI link standing in for CXL).
+
+The paper emulates CXL memory over a remote NUMA node: 25 GB/s per
+direction of UPI bandwidth and ~90 ns of added latency.  Cross-tier page
+copies traverse this link, so migration bandwidth — not just migration
+CPU cost — is a contended resource shared by every workload's migration
+threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import ns_to_cycles
+
+
+@dataclass
+class Interconnect:
+    """Point-to-point link between the fast and slow tiers."""
+
+    bandwidth_gbps: float = 25.0
+    added_latency_ns: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.added_latency_ns < 0:
+            raise ValueError("added latency cannot be negative")
+        self.bytes_transferred = 0
+
+    @property
+    def added_latency_cycles(self) -> int:
+        return ns_to_cycles(self.added_latency_ns)
+
+    def transfer_cost_cycles(self, nbytes: int, concurrent_streams: int = 1) -> int:
+        """Cycles to move ``nbytes`` across the link.
+
+        ``concurrent_streams`` models other active migrations sharing the
+        link; each stream sees its fair share of the bandwidth.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if concurrent_streams < 1:
+            raise ValueError("at least one stream")
+        self.bytes_transferred += nbytes
+        effective = self.bandwidth_gbps / concurrent_streams
+        ns = self.added_latency_ns + nbytes / effective
+        return ns_to_cycles(ns)

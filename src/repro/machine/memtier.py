@@ -1,0 +1,83 @@
+"""Memory tier model: capacity, latency, bandwidth.
+
+Tiers hold *frames*; allocation policy lives in
+:mod:`repro.mm.frame_alloc`.  Here we model the performance surface: an
+unloaded access latency plus a simple loaded-latency ramp as consumed
+bandwidth approaches the tier's peak, which is what makes a BE workload's
+bandwidth hunger visible to co-runners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.config import TierConfig
+from repro.sim.units import PAGE_SIZE, ns_to_cycles
+
+
+@dataclass
+class TierStats:
+    """Counters for one tier."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_copied_in: int = 0
+    bytes_copied_out: int = 0
+
+
+class MemoryTier:
+    """One tier of the memory hierarchy.
+
+    Parameters
+    ----------
+    config:
+        Static tier description (capacity/latency/bandwidth).
+    tier_id:
+        0 = fast, 1 = slow by convention throughout the repo.
+    page_size:
+        Frame granularity; co-location experiments use a scaled page unit.
+    """
+
+    def __init__(self, config: TierConfig, tier_id: int, page_size: int = PAGE_SIZE) -> None:
+        self.config = config
+        self.tier_id = tier_id
+        self.page_size = page_size
+        self.total_frames = config.capacity_bytes // page_size
+        if self.total_frames <= 0:
+            raise ValueError(f"tier {config.name!r} smaller than one page")
+        self.stats = TierStats()
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def load_latency_cycles(self) -> int:
+        return self.config.load_latency_cycles
+
+    def access_latency_cycles(self, utilization: float = 0.0) -> float:
+        """Loaded access latency.
+
+        ``utilization`` is consumed/peak bandwidth in [0, 1).  We use the
+        standard closed-form M/M/1-style ramp ``unloaded / (1 - u)``
+        capped at 4x unloaded, which matches the qualitative curves in
+        tiered-memory measurement studies (latency roughly flat until
+        ~60-70% utilization, then climbing steeply).
+        """
+        u = min(max(utilization, 0.0), 0.96)
+        lat = self.load_latency_cycles / (1.0 - u)
+        return min(lat, 4.0 * self.load_latency_cycles)
+
+    def copy_cost_cycles(self, nbytes: int) -> int:
+        """Cycles for a streaming copy of ``nbytes`` limited by this
+        tier's bandwidth (the slower side bounds a cross-tier copy)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        ns = nbytes / self.config.bandwidth_gbps  # GB/s == bytes/ns
+        return ns_to_cycles(ns)
+
+    def record_access(self, is_write: bool, count: int = 1) -> None:
+        if is_write:
+            self.stats.writes += count
+        else:
+            self.stats.reads += count

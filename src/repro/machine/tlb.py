@@ -1,0 +1,111 @@
+"""Per-core TLB model.
+
+Each core owns one TLB caching virtual→physical translations for the
+thread currently running on it.  The model is structural: entries are
+really inserted on walks and really removed by invalidations, so a
+migration's TLB shootdown has an observable cost (subsequent misses) in
+addition to its IPI cost.
+
+Capacity eviction is random-candidate (an adequate stand-in for the
+hardware's limited-associativity replacement) driven by a deterministic
+stream so runs reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TlbStats:
+    """Counters for one TLB."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    flushes: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class Tlb:
+    """A single core's TLB.
+
+    Parameters
+    ----------
+    entries:
+        Capacity in translations.
+    rng:
+        Deterministic generator used for replacement victim choice.
+    """
+
+    entries: int
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    stats: TlbStats = field(default_factory=TlbStats)
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB needs positive capacity")
+        # vpn -> pfn for the address space currently loaded on this core.
+        self._map: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def lookup(self, vpn: int) -> int | None:
+        """Return the cached pfn for ``vpn``, counting hit/miss."""
+        pfn = self._map.get(vpn)
+        if pfn is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return pfn
+
+    def contains(self, vpn: int) -> bool:
+        """Non-counting membership probe (used by assertions/tests)."""
+        return vpn in self._map
+
+    def insert(self, vpn: int, pfn: int) -> None:
+        """Install a translation, evicting a random victim when full."""
+        if vpn not in self._map and len(self._map) >= self.entries:
+            victim = self._pick_victim()
+            del self._map[victim]
+            self.stats.evictions += 1
+        self._map[vpn] = pfn
+
+    def _pick_victim(self) -> int:
+        keys = list(self._map.keys())
+        return keys[int(self.rng.integers(len(keys)))]
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop one translation (the per-page INVLPG of a shootdown)."""
+        present = self._map.pop(vpn, None) is not None
+        if present:
+            self.stats.invalidations += 1
+        return present
+
+    def invalidate_many(self, vpns) -> int:
+        """Drop a batch of translations; returns how many were present."""
+        dropped = 0
+        for vpn in vpns:
+            if self._map.pop(vpn, None) is not None:
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def flush(self) -> int:
+        """Full flush (CR3 reload without PCID); returns entries dropped."""
+        n = len(self._map)
+        self._map.clear()
+        self.stats.flushes += 1
+        return n

@@ -1,0 +1,61 @@
+"""Fairness metrics: Jain's index and the paper's CFI (Eq. 4).
+
+The paper evaluates fairness with the *FTHR-weighted Cumulative Jain's
+Fairness Index*: each workload's cumulative efficiency-adjusted
+allocation is::
+
+    X_i = Σ_t  x_i(t) · FTHR_i(t)
+
+(allocation at time t, discounted by how effectively it was used), and
+
+    CFI = (Σ X_i)² / (N · Σ X_i²)
+
+CFI = 1 means perfectly equal *effective* service; 1/N means one
+workload received everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jain_index(values) -> float:
+    """Jain's fairness index over non-negative per-entity totals.
+
+    Returns 1.0 for an empty or all-zero input (vacuously fair).
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("Jain's index requires non-negative values")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / denom
+
+
+def cfi(alloc_timeseries: dict[int, np.ndarray], fthr_timeseries: dict[int, np.ndarray]) -> float:
+    """Eq. 4: FTHR-weighted cumulative Jain index.
+
+    Parameters
+    ----------
+    alloc_timeseries:
+        pid → array of fast-memory allocations x_i(t) per epoch.
+    fthr_timeseries:
+        pid → array of FTHR_i(t) per epoch, same lengths per pid.
+
+    Workloads active for different spans simply contribute their own
+    epochs (arrays may have different lengths across pids).
+    """
+    if set(alloc_timeseries) != set(fthr_timeseries):
+        raise ValueError("alloc and FTHR series must cover the same pids")
+    totals = []
+    for pid, alloc in alloc_timeseries.items():
+        fthr = fthr_timeseries[pid]
+        a = np.asarray(alloc, dtype=np.float64)
+        f = np.asarray(fthr, dtype=np.float64)
+        if a.shape != f.shape:
+            raise ValueError(f"pid {pid}: alloc and FTHR lengths differ")
+        totals.append(float(np.sum(a * f)))
+    return jain_index(totals)

@@ -1,0 +1,94 @@
+"""Latency percentile tracking for latency-critical workloads.
+
+The paper's LC/BE distinction is about *tail latency*: an LC service
+cares about p99, a BE job about throughput.  The harness models a
+request's memory cost as a mixture over tier hits; this module turns
+per-epoch (fast, slow, latencies) observations into the percentile
+estimates an SLO would be written against.
+
+Per-request latency model: a Memcached-style request touches ``k``
+pages (key lookup + value); each lands fast or slow with the epoch's
+hit ratio.  Request latency = base + Σ page costs.  The mixture's exact
+quantiles come from the binomial over slow touches — no sampling needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from math import comb
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Exact request-latency distribution for one epoch's tier mix."""
+
+    fthr: float
+    fast_cycles: float
+    slow_cycles: float
+    pages_per_request: int = 2
+    base_cycles: float = 500.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fthr <= 1.0:
+            raise ValueError("fthr must be in [0,1]")
+        if self.pages_per_request < 1:
+            raise ValueError("a request touches at least one page")
+
+    def _pmf(self) -> list[tuple[float, float]]:
+        """(latency, probability) over the number of slow touches."""
+        k = self.pages_per_request
+        p_slow = 1.0 - self.fthr
+        out = []
+        for j in range(k + 1):
+            prob = comb(k, j) * (p_slow**j) * ((1 - p_slow) ** (k - j))
+            lat = self.base_cycles + (k - j) * self.fast_cycles + j * self.slow_cycles
+            out.append((lat, prob))
+        return out
+
+    def mean(self) -> float:
+        return sum(l * p for l, p in self._pmf())
+
+    def percentile(self, q: float) -> float:
+        """Smallest latency whose CDF reaches ``q`` (q in (0, 1])."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        acc = 0.0
+        for lat, prob in sorted(self._pmf()):
+            acc += prob
+            if acc >= q - 1e-12:
+                return lat
+        return sorted(self._pmf())[-1][0]
+
+
+@dataclass
+class LatencyTracker:
+    """Epoch-by-epoch percentile series for one LC workload."""
+
+    pages_per_request: int = 2
+    base_cycles: float = 500.0
+    p50: list[float] = field(default_factory=list)
+    p99: list[float] = field(default_factory=list)
+    means: list[float] = field(default_factory=list)
+
+    def record_epoch(self, fthr: float, fast_cycles: float, slow_cycles: float) -> None:
+        prof = LatencyProfile(
+            fthr=fthr,
+            fast_cycles=fast_cycles,
+            slow_cycles=slow_cycles,
+            pages_per_request=self.pages_per_request,
+            base_cycles=self.base_cycles,
+        )
+        self.p50.append(prof.percentile(0.50))
+        self.p99.append(prof.percentile(0.99))
+        self.means.append(prof.mean())
+
+    def slo_violations(self, slo_cycles: float) -> int:
+        """Epochs whose p99 exceeded the SLO."""
+        return int(np.sum(np.asarray(self.p99) > slo_cycles))
+
+    def worst_p99(self) -> float:
+        if not self.p99:
+            raise RuntimeError("no epochs recorded")
+        return float(max(self.p99))

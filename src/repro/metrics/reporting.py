@@ -1,0 +1,67 @@
+"""Paper-style plain-text rendering of tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot, so a reader can diff shapes against the paper without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    width: int = 48,
+    y_fmt: str = "{:.3f}",
+) -> str:
+    """A labelled series with a proportional ASCII bar per point."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys lengths differ")
+    out = [name]
+    if not ys:
+        return name + " (empty)"
+    top = max(max(ys), 1e-12)
+    xw = max(len(str(x)) for x in xs)
+    for x, y in zip(xs, ys):
+        bar = "#" * max(int(round(width * y / top)), 0)
+        out.append(f"  {str(x).rjust(xw)}  {y_fmt.format(y).rjust(10)}  {bar}")
+    return "\n".join(out)

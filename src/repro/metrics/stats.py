@@ -1,0 +1,62 @@
+"""Small statistics helpers: EMA, trial means with confidence intervals."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: two-sided 97.5% normal quantile for CI95 with many samples
+_Z975 = 1.959963984540054
+#: t-distribution 97.5% quantiles for tiny trial counts (df 1..30)
+_T975 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def ema(values, alpha: float) -> np.ndarray:
+    """Exponential moving average series (Eq. 2's smoother).
+
+    ``out[0] = values[0]``; ``out[t] = α·values[t] + (1-α)·out[t-1]``.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0,1]")
+    x = np.asarray(values, dtype=np.float64)
+    out = np.empty_like(x)
+    if x.size == 0:
+        return out
+    out[0] = x[0]
+    for i in range(1, x.size):
+        out[i] = alpha * x[i] + (1.0 - alpha) * out[i - 1]
+    return out
+
+
+def mean_ci95(samples) -> tuple[float, float]:
+    """Mean and 95% confidence half-width over independent trials.
+
+    Uses Student's t for n ≤ 31 (the paper runs 10 trials), the normal
+    approximation beyond.  A single sample yields a zero half-width.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("no samples")
+    mean = float(np.mean(x))
+    if x.size == 1:
+        return (mean, 0.0)
+    sem = float(np.std(x, ddof=1)) / math.sqrt(x.size)
+    df = x.size - 1
+    q = _T975[df - 1] if df <= len(_T975) else _Z975
+    return (mean, q * sem)
+
+
+def coefficient_of_variation(values) -> float:
+    """CV = std/mean; the burstiness signal for LC/BE classification."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        return 0.0
+    m = float(np.mean(x))
+    if m == 0.0:
+        return 0.0
+    return float(np.std(x)) / m

@@ -1,0 +1,195 @@
+"""Processes, VMAs and demand paging.
+
+A :class:`Process` owns a replicated page-table set, a VMA list, and its
+thread registry.  :class:`AddressSpace` binds a process to the frame
+allocator and implements the fault path:
+
+* first touch by thread *t* → allocate a frame (fast tier with fallback
+  to slow, Linux-style), install a PTE owned by *t*;
+* touch by a second thread → private→shared promotion in the PTE
+  ownership bits (see :mod:`repro.mm.replication`).
+
+Two access paths are provided.  ``touch()`` is the fully structural
+per-access path used by the microbenchmarks (it exercises TLBs and page
+tables).  ``record_batch()`` is the vectorized path used by the
+epoch-driven co-location simulator: it updates frame access counters for
+whole numpy batches at once and leaves TLB effects to the statistical
+model, as DESIGN.md §4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mm import pte as pte_mod
+from repro.mm.frame_alloc import FrameAllocator
+from repro.mm.page import PhysPage
+from repro.mm.replication import ReplicatedPageTables
+
+
+@dataclass
+class Vma:
+    """One contiguous virtual mapping."""
+
+    start_vpn: int
+    n_pages: int
+    name: str = "anon"
+
+    def __post_init__(self) -> None:
+        if self.n_pages <= 0:
+            raise ValueError("VMA must span at least one page")
+
+    @property
+    def end_vpn(self) -> int:
+        return self.start_vpn + self.n_pages
+
+    def contains(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.end_vpn
+
+    def vpns(self) -> np.ndarray:
+        """All VPNs of the region as an array (for vectorized sampling)."""
+        return np.arange(self.start_vpn, self.end_vpn, dtype=np.int64)
+
+
+@dataclass
+class Process:
+    """A workload process: threads + VMAs + replicated page tables."""
+
+    pid: int
+    name: str = ""
+    replication_enabled: bool = True
+    repl: ReplicatedPageTables = field(init=False)
+    vmas: list[Vma] = field(default_factory=list)
+    _next_vpn: int = 0x1000  # skip low VAs, purely cosmetic
+
+    def __post_init__(self) -> None:
+        self.repl = ReplicatedPageTables(enabled=self.replication_enabled)
+
+    @property
+    def tids(self) -> set[int]:
+        return self.repl.tids
+
+    def spawn_thread(self, tid: int) -> None:
+        self.repl.register_thread(tid)
+
+    def mmap(self, n_pages: int, name: str = "anon") -> Vma:
+        """Reserve a contiguous virtual region (no frames yet)."""
+        vma = Vma(start_vpn=self._next_vpn, n_pages=n_pages, name=name)
+        self.vmas.append(vma)
+        # Guard gap between VMAs so off-by-one bugs fault loudly.
+        self._next_vpn = vma.end_vpn + 16
+        return vma
+
+    def vma_for(self, vpn: int) -> Vma | None:
+        for vma in self.vmas:
+            if vma.contains(vpn):
+                return vma
+        return None
+
+    @property
+    def rss_pages(self) -> int:
+        """Resident set size in pages (frames actually faulted in)."""
+        return self.repl.process_table.mapped_count
+
+
+class AddressSpace:
+    """Binds a process to physical memory; implements demand paging."""
+
+    def __init__(self, process: Process, allocator: FrameAllocator) -> None:
+        self.process = process
+        self.allocator = allocator
+        self.minor_faults = 0
+        self.major_faults = 0
+
+    # -- structural access path (microbenchmarks) -------------------------
+
+    def translate(self, vpn: int) -> int | None:
+        """VPN → PFN through the page tables, or None if unmapped."""
+        value = self.process.repl.lookup(vpn)
+        if value is None or not pte_mod.pte_is_present(value):
+            return None
+        return pte_mod.pte_pfn(value)
+
+    def fault(self, vpn: int, tid: int, *, prefer_tier: int = 0) -> PhysPage:
+        """Demand-fault ``vpn`` in for thread ``tid``.
+
+        Frames come from ``prefer_tier`` with fallback to the other tier
+        when exhausted (the kernel's node-ordered fallback).
+        """
+        if self.process.vma_for(vpn) is None:
+            raise KeyError(f"segfault: vpn {vpn} outside every VMA of pid {self.process.pid}")
+        if self.process.repl.lookup(vpn) is not None:
+            raise ValueError(f"vpn {vpn} already mapped")
+        page = self.allocator.allocate(prefer_tier, fallback=True)
+        page.attach(self.process.pid, vpn)
+        self.process.repl.handle_fault(vpn, tid, page.pfn)
+        self.major_faults += 1
+        return page
+
+    def touch(self, vpn: int, tid: int, *, is_write: bool = False, cycle: int = 0) -> PhysPage:
+        """One structural access: fault if needed, track sharing, count.
+
+        Returns the frame accessed.
+        """
+        pfn = self.translate(vpn)
+        if pfn is None:
+            page = self.fault(vpn, tid)
+        else:
+            page = self.allocator.page(pfn)
+            if self.process.repl.note_access(vpn, tid):
+                self.minor_faults += 1
+        page.record_access(is_write, tid=tid, cycle=cycle)
+        return page
+
+    # -- vectorized access path (epoch simulator) ---------------------------
+
+    def populate(self, vma: Vma, tid: int, *, prefer_tier: int = 0) -> int:
+        """Fault in an entire VMA for ``tid``; returns pages mapped."""
+        mapped = 0
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            if self.process.repl.lookup(vpn) is None:
+                self.fault(vpn, tid, prefer_tier=prefer_tier)
+                mapped += 1
+        return mapped
+
+    def record_batch(self, vpns: np.ndarray, is_write: np.ndarray, tid: int, cycle: int = 0) -> tuple[int, int]:
+        """Account a batch of accesses against frame counters.
+
+        Pages must already be mapped (the harness populates VMAs up
+        front, matching the paper's warmed-up workloads).  Returns
+        ``(fast_accesses, slow_accesses)`` for FTHR sampling.
+
+        The loop is over *unique* pages (bincount-compressed), not raw
+        accesses, so a 50k-access epoch over a few thousand pages costs a
+        few thousand dict hits.
+        """
+        if vpns.shape != is_write.shape:
+            raise ValueError("vpns and is_write must have identical shape")
+        if vpns.size == 0:
+            return (0, 0)
+        uniq, inverse = np.unique(vpns, return_inverse=True)
+        writes_per = np.bincount(inverse, weights=is_write.astype(np.float64)).astype(np.int64)
+        total_per = np.bincount(inverse)
+        repl = self.process.repl
+        allocator = self.allocator
+        fast = 0
+        slow = 0
+        for u_vpn, n_total, n_writes in zip(uniq.tolist(), total_per.tolist(), writes_per.tolist()):
+            value = repl.lookup(u_vpn)
+            if value is None:
+                raise KeyError(f"vpn {u_vpn} not mapped; populate() the VMA first")
+            if repl.note_access(u_vpn, tid):
+                self.minor_faults += 1
+            page = allocator.page(pte_mod.pte_pfn(value))
+            n_reads = n_total - n_writes
+            if n_reads:
+                page.record_access(False, tid=tid, cycle=cycle, count=n_reads)
+            if n_writes:
+                page.record_access(True, tid=tid, cycle=cycle, count=n_writes)
+            if page.tier_id == 0:
+                fast += n_total
+            else:
+                slow += n_total
+        return (fast, slow)

@@ -1,0 +1,143 @@
+"""Per-tier physical frame allocation with watermarks.
+
+Global PFN space is partitioned contiguously: the fast tier owns
+``[0, fast_frames)``, the slow tier ``[fast_frames, fast+slow)``, so a
+PFN alone identifies its tier — mirroring how zone membership works in
+the kernel and letting PTEs stay a single integer.
+
+Watermarks drive proactive demotion exactly as in TPP/Linux: when a
+tier's free frames drop below ``low_watermark`` the reclaim path (a
+tiering policy) is expected to demote until ``high_watermark`` is
+restored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.mm.page import PageState, PhysPage
+
+
+class OutOfFramesError(RuntimeError):
+    """A tier has no free frames and the caller did not allow fallback."""
+
+
+@dataclass
+class TierFrames:
+    """Allocation bookkeeping for one tier."""
+
+    tier_id: int
+    base_pfn: int
+    total: int
+    low_watermark_frac: float = 0.02
+    high_watermark_frac: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise ValueError("tier needs at least one frame")
+        if not 0 <= self.low_watermark_frac <= self.high_watermark_frac <= 1:
+            raise ValueError("need 0 <= low <= high <= 1 watermark fractions")
+        self.free_list: deque[int] = deque(range(self.base_pfn, self.base_pfn + self.total))
+
+    @property
+    def free(self) -> int:
+        return len(self.free_list)
+
+    @property
+    def used(self) -> int:
+        return self.total - self.free
+
+    @property
+    def low_watermark(self) -> int:
+        return int(self.total * self.low_watermark_frac)
+
+    @property
+    def high_watermark(self) -> int:
+        return int(self.total * self.high_watermark_frac)
+
+    def below_low_watermark(self) -> bool:
+        return self.free < self.low_watermark
+
+    def frames_to_reclaim(self) -> int:
+        """How many frames demotion must free to restore the high mark."""
+        deficit = self.high_watermark - self.free
+        return max(deficit, 0)
+
+
+class FrameAllocator:
+    """Allocator over both tiers plus the frame metadata table."""
+
+    def __init__(
+        self,
+        fast_frames: int,
+        slow_frames: int,
+        low_watermark_frac: float = 0.02,
+        high_watermark_frac: float = 0.05,
+    ) -> None:
+        self.tiers = [
+            TierFrames(0, base_pfn=0, total=fast_frames,
+                       low_watermark_frac=low_watermark_frac,
+                       high_watermark_frac=high_watermark_frac),
+            TierFrames(1, base_pfn=fast_frames, total=slow_frames,
+                       low_watermark_frac=low_watermark_frac,
+                       high_watermark_frac=high_watermark_frac),
+        ]
+        self._fast_frames = fast_frames
+        self._pages: dict[int, PhysPage] = {}
+
+    def tier_of_pfn(self, pfn: int) -> int:
+        """Which tier a PFN belongs to (contiguous partitioning)."""
+        if pfn < 0 or pfn >= self.tiers[0].total + self.tiers[1].total:
+            raise ValueError(f"pfn {pfn} outside physical memory")
+        return 0 if pfn < self._fast_frames else 1
+
+    def page(self, pfn: int) -> PhysPage:
+        """Frame metadata (created lazily on first allocation)."""
+        return self._pages[pfn]
+
+    def allocate(self, tier_id: int, *, fallback: bool = False) -> PhysPage:
+        """Take a free frame from ``tier_id``.
+
+        With ``fallback=True`` an empty fast tier falls through to the
+        slow tier (Linux's allocation fallback order), mirroring how new
+        allocations land in slow memory once DRAM fills.
+        """
+        tier = self.tiers[tier_id]
+        if not tier.free_list:
+            if fallback and tier_id == 0 and self.tiers[1].free_list:
+                tier = self.tiers[1]
+            else:
+                raise OutOfFramesError(f"tier {tier_id} has no free frames")
+        pfn = tier.free_list.popleft()
+        page = self._pages.get(pfn)
+        if page is None:
+            page = PhysPage(pfn=pfn, tier_id=tier.tier_id)
+            self._pages[pfn] = page
+        page.tier_id = tier.tier_id
+        page.state = PageState.FREE  # caller attaches
+        return page
+
+    def free(self, pfn: int) -> None:
+        """Return a frame to its tier's free list."""
+        page = self._pages.get(pfn)
+        if page is None:
+            raise ValueError(f"pfn {pfn} was never allocated")
+        tier = self.tiers[self.tier_of_pfn(pfn)]
+        if pfn in tier.free_list:
+            raise ValueError(f"double free of pfn {pfn}")
+        page.detach()
+        tier.free_list.append(pfn)
+
+    def free_frames(self, tier_id: int) -> int:
+        return self.tiers[tier_id].free
+
+    def used_frames(self, tier_id: int) -> int:
+        return self.tiers[tier_id].used
+
+    def mapped_pages(self, tier_id: int | None = None):
+        """Iterate live (mapped or migrating) frames, optionally by tier."""
+        for page in self._pages.values():
+            if page.state in (PageState.MAPPED, PageState.MIGRATING):
+                if tier_id is None or page.tier_id == tier_id:
+                    yield page

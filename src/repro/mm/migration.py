@@ -1,0 +1,387 @@
+"""The five-phase page migration engine.
+
+Paper §2.1 decomposes migration into: ① kernel trapping, ② PTE locking
+and unmapping, ③ TLB shootdown via IPIs, ④ content copy between tiers,
+⑤ PTE remapping.  This engine executes those phases against the
+*structural* substrate (page tables, TLBs, allocator, LRU) while cycle
+costs come from the calibrated :class:`MigrationCostModel`, so both the
+mechanism's behaviour and its price are observable.
+
+Three copy disciplines are implemented:
+
+* **sync** — the classic blocking path (TPP promotion): application
+  threads accessing the page stall for the whole operation.
+* **async** — kswapd-style background migration (Memtis): off the
+  critical path, but the page is unmapped during copy, so concurrent
+  accesses fault-stall for the tail of the copy.
+* **transactional** — Nomad/Vulcan: the page *stays mapped* during the
+  copy; a write during the copy window dirties the destination stale and
+  the transaction retries, up to a bound, then falls back to sync.  This
+  is what makes async copying lose on write-intensive pages (paper
+  Observation #4 / Fig. 4).
+
+Vulcan's two mechanism optimizations are flags:
+
+* ``opt_prep`` — scoped (per-application) LRU drain instead of
+  ``lru_add_drain_all()``;
+* ``opt_tlb`` — per-thread page-table shootdown scoping via
+  :func:`repro.mm.tlb_coherence.compute_scope`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.platform import Machine
+from repro.mm import pte as pte_mod
+from repro.mm.address_space import AddressSpace
+from repro.mm.frame_alloc import FrameAllocator, OutOfFramesError
+from repro.mm.lru import LruSubsystem
+from repro.mm.migration_costs import MigrationCostModel
+from repro.mm.page import PageState
+from repro.mm.shadow import ShadowTracker
+from repro.mm.tlb_coherence import compute_scope, execute_shootdown
+
+
+class MigrationPhase(enum.Enum):
+    """The five phases of §2.1's migration mechanism."""
+
+    TRAP = "trap"
+    UNMAP = "unmap"
+    SHOOTDOWN = "shootdown"
+    COPY = "copy"
+    REMAP = "remap"
+
+
+class MigrationOutcome(enum.Enum):
+    SUCCESS = "success"
+    RETRIED = "retried"  # transactional copy restarted at least once
+    FELL_BACK_SYNC = "fell_back_sync"  # transactional gave up, went sync
+    FAILED = "failed"  # no destination frame
+
+
+@dataclass
+class MigrationRequest:
+    """One page to move."""
+
+    pid: int
+    vpn: int
+    dest_tier: int
+    sync: bool = True
+    #: Expected write fraction, used by the transactional engine to
+    #: simulate dirty-during-copy probability.
+    write_fraction: float = 0.0
+    #: Concurrent access rate to this page (accesses per 1K cycles),
+    #: driving the dirty-probability model during async copy windows.
+    access_rate_per_kcycle: float = 0.0
+
+
+@dataclass
+class MigrationStats:
+    """Aggregate accounting for one engine."""
+
+    migrations: int = 0
+    pages_moved: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    retries: int = 0
+    sync_fallbacks: int = 0
+    failures: int = 0
+    shadow_remaps: int = 0
+    total_cycles: float = 0.0
+    stall_cycles: float = 0.0  # cycles application threads were blocked
+    phase_cycles: dict[str, float] = field(
+        default_factory=lambda: {p.value: 0.0 for p in MigrationPhase}
+    )
+
+    def charge(self, phase: MigrationPhase, cycles: float) -> None:
+        self.phase_cycles[phase.value] += cycles
+        self.total_cycles += cycles
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Which of Vulcan's mechanism optimizations are active."""
+
+    opt_prep: bool = False
+    opt_tlb: bool = False
+    #: CPUs whose pagevecs a scoped drain covers (the app's cores).
+    prep_scope_cpus: int = 2
+    #: Retry bound before a transactional copy falls back to sync.
+    async_retry_limit: int = 3
+
+
+#: Cost of the kernel trap / syscall entry for a migration call.
+TRAP_CYCLES = 600.0
+
+
+class MigrationEngine:
+    """Executes migrations for one process against shared hardware."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        allocator: FrameAllocator,
+        space: AddressSpace,
+        lru: LruSubsystem,
+        *,
+        cost_model: MigrationCostModel | None = None,
+        flags: OptimizationFlags | None = None,
+        thread_core_map: dict[int, int] | None = None,
+        shadow: ShadowTracker | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.machine = machine
+        self.allocator = allocator
+        self.space = space
+        self.lru = lru
+        self.costs = cost_model if cost_model is not None else MigrationCostModel()
+        self.flags = flags if flags is not None else OptimizationFlags()
+        self.thread_core_map = thread_core_map
+        self.shadow = shadow
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = MigrationStats()
+
+    # -- phase helpers -------------------------------------------------------
+
+    def _prepare(self, n_pages: int) -> float:
+        """Phase 0: LRU drain + isolation (the Fig. 2 'preparation')."""
+        if self.flags.opt_prep:
+            scope = list(range(min(self.flags.prep_scope_cpus, self.machine.cpu.n_cores)))
+            self.lru.drain(scope)
+            return self.costs.prep_opt_cycles(self.flags.prep_scope_cpus)
+        self.lru.drain(None)
+        return self.costs.prep_cycles(self.machine.cpu.n_cores)
+
+    def _shootdown(self, vpn: int) -> tuple[float, int]:
+        """Phase ③: resolve scope, deliver IPIs, invalidate TLBs.
+
+        Returns ``(model_cycles, n_target_cpus)``.  The structural IPI
+        cost is folded into the model cost (the model is calibrated to
+        end-to-end measurements that already include it).
+        """
+        repl = self.space.process.repl
+        if self.flags.opt_tlb and repl.enabled:
+            scope = compute_scope(
+                repl, self.machine.cpu, vpn, thread_core_map=self.thread_core_map
+            )
+        else:
+            # Process-wide: every thread of the process is a target.
+            tids = repl.tids if repl.tids else set()
+            if self.thread_core_map is not None:
+                cores = tuple(sorted({self.thread_core_map[t] for t in tids if t in self.thread_core_map}))
+            else:
+                cores = tuple(sorted({c.core_id for c in self.machine.cpu.cores_running(tids)}))
+            from repro.mm.tlb_coherence import ShootdownScope
+
+            scope = ShootdownScope(vpn=vpn, target_core_ids=cores, sharing_tids=tuple(sorted(tids)), process_wide=True)
+        execute_shootdown(self.machine.cpu, scope)
+        n_targets = max(scope.n_targets, 1)
+        return (self.costs.batch_tlb_cycles(1, n_targets), n_targets)
+
+    def _alloc_dest(self, dest_tier: int) -> "PhysPage | None":  # noqa: F821
+        try:
+            return self.allocator.allocate(dest_tier, fallback=False)
+        except OutOfFramesError:
+            return None
+
+    # -- public API -----------------------------------------------------------
+
+    def migrate(self, request: MigrationRequest) -> MigrationOutcome:
+        """Migrate a single page through the five phases."""
+        outcomes = self.migrate_batch([request])
+        return outcomes[0]
+
+    def migrate_batch(self, requests: list[MigrationRequest]) -> list[MigrationOutcome]:
+        """Migrate a batch; preparation is paid once per call, as in
+        ``migrate_pages()``."""
+        if not requests:
+            return []
+        self.stats.charge(MigrationPhase.TRAP, TRAP_CYCLES)
+        prep_cycles = self._prepare(len(requests))
+        self.stats.phase_cycles.setdefault("prep", 0.0)
+        self.stats.phase_cycles["prep"] += prep_cycles
+        self.stats.total_cycles += prep_cycles
+
+        outcomes: list[MigrationOutcome] = []
+        for req in requests:
+            outcomes.append(self._migrate_one(req))
+        self.stats.migrations += 1
+        return outcomes
+
+    def _migrate_one(self, req: MigrationRequest) -> MigrationOutcome:
+        repl = self.space.process.repl
+        value = repl.lookup(req.vpn)
+        if value is None:
+            self.stats.failures += 1
+            return MigrationOutcome.FAILED
+        src_pfn = pte_mod.pte_pfn(value)
+        src_page = self.allocator.page(src_pfn)
+        if src_page.tier_id == req.dest_tier:
+            return MigrationOutcome.SUCCESS  # already there
+
+        # Shadow fast-path on demotion: a clean page that still has its
+        # slow-tier shadow can be "demoted" by a remap alone (§3.5).
+        if (
+            self.shadow is not None
+            and req.dest_tier == 1
+            and self.shadow.can_remap_demote(src_pfn, dirty=pte_mod.pte_is_dirty(value))
+        ):
+            return self._demote_via_shadow(req, value, src_pfn)
+
+        dest_page = self._alloc_dest(req.dest_tier)
+        if dest_page is None:
+            self.stats.failures += 1
+            return MigrationOutcome.FAILED
+
+        if req.sync:
+            outcome = self._copy_sync(req, value, src_pfn, dest_page.pfn)
+        else:
+            outcome = self._copy_transactional(req, value, src_pfn, dest_page.pfn)
+
+        if outcome in (MigrationOutcome.SUCCESS, MigrationOutcome.RETRIED, MigrationOutcome.FELL_BACK_SYNC):
+            self._finalize_move(req, src_pfn, dest_page.pfn)
+        else:
+            self.allocator.free(dest_page.pfn)
+        return outcome
+
+    # -- copy disciplines -------------------------------------------------------
+
+    def _copy_sync(self, req: MigrationRequest, value: int, src_pfn: int, dest_pfn: int) -> MigrationOutcome:
+        """Blocking copy: unmap → shootdown → copy → remap; the app stalls."""
+        self.stats.charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        tlb_cycles, _ = self._shootdown(req.vpn)
+        self.stats.charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
+        copy_cycles = self.costs.batch_copy_cycles(1)
+        self.stats.charge(MigrationPhase.COPY, copy_cycles)
+        self.stats.charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        # Everything after unmap is a stall for threads touching the page.
+        self.stats.stall_cycles += tlb_cycles + copy_cycles
+        return MigrationOutcome.SUCCESS
+
+    def _copy_transactional(self, req: MigrationRequest, value: int, src_pfn: int, dest_pfn: int) -> MigrationOutcome:
+        """Nomad-style transactional copy: page stays mapped during copy;
+        a concurrent write aborts and retries the transaction."""
+        src_page = self.allocator.page(src_pfn)
+        src_page.state = PageState.MIGRATING
+        copy_cycles = self.costs.batch_copy_cycles(1)
+        retries = 0
+        outcome = MigrationOutcome.SUCCESS
+        while True:
+            src_page.dirty_since_copy = False
+            self.stats.charge(MigrationPhase.COPY, copy_cycles)
+            # Probability the page is written during this copy window.
+            dirtied = self._dirtied_during(copy_cycles, req)
+            if not dirtied and not src_page.dirty_since_copy:
+                break
+            retries += 1
+            self.stats.retries += 1
+            if retries > self.flags.async_retry_limit:
+                # Give up: take the write-blocking sync path.
+                self.stats.sync_fallbacks += 1
+                self._copy_sync(req, value, src_pfn, dest_pfn)
+                src_page.state = PageState.MAPPED
+                return MigrationOutcome.FELL_BACK_SYNC
+            outcome = MigrationOutcome.RETRIED
+        # Commit: brief write-protect window, scoped shootdown, remap.
+        self.stats.charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        tlb_cycles, _ = self._shootdown(req.vpn)
+        self.stats.charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
+        self.stats.charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        # Only the commit window stalls the app.
+        self.stats.stall_cycles += tlb_cycles
+        src_page.state = PageState.MAPPED
+        return outcome
+
+    def _dirtied_during(self, window_cycles: float, req: MigrationRequest) -> bool:
+        """Bernoulli draw: was the page written inside the copy window?
+
+        Writes arrive at ``rate * write_fraction`` per kilocycle; the
+        window survives clean with probability ``exp(-λ·w·window)``.
+        """
+        lam = req.access_rate_per_kcycle * req.write_fraction / 1_000.0
+        if lam <= 0.0:
+            return False
+        p_dirty = 1.0 - float(np.exp(-lam * window_cycles))
+        return bool(self.rng.random() < p_dirty)
+
+    # -- shadow demotion ---------------------------------------------------------
+
+    def _demote_via_shadow(self, req: MigrationRequest, value: int, src_pfn: int) -> MigrationOutcome:
+        """Demotion by remapping to the retained slow-tier shadow copy."""
+        assert self.shadow is not None
+        shadow_pfn = self.shadow.shadow_of(src_pfn)
+        assert shadow_pfn is not None
+        self.stats.charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        tlb_cycles, _ = self._shootdown(req.vpn)
+        self.stats.charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
+        self.stats.charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self.stats.stall_cycles += tlb_cycles
+
+        repl = self.space.process.repl
+        repl.update(req.vpn, pte_mod.pte_clear_flag(pte_mod.pte_with_pfn(value, shadow_pfn), pte_mod.PTE_SHADOW))
+        shadow_page = self.allocator.page(shadow_pfn)
+        shadow_page.attach(req.pid, req.vpn)
+        shadow_page.heat = self.allocator.page(src_pfn).heat
+        self.shadow.consume(src_pfn)
+        if src_pfn in self.lru.lists[0]:
+            self.lru.lists[0].remove(src_pfn)
+        if shadow_pfn not in self.lru.lists[1]:
+            self.lru.lists[1].insert(shadow_pfn)
+        self.allocator.free(src_pfn)
+        self.stats.demotions += 1
+        self.stats.pages_moved += 1
+        self.stats.shadow_remaps += 1
+        return MigrationOutcome.SUCCESS
+
+    # -- commit -----------------------------------------------------------------
+
+    def _finalize_move(self, req: MigrationRequest, src_pfn: int, dest_pfn: int) -> None:
+        """Repoint the PTE, move metadata, release or shadow the source."""
+        repl = self.space.process.repl
+        value = repl.lookup(req.vpn)
+        assert value is not None
+        src_page = self.allocator.page(src_pfn)
+        dest_page = self.allocator.page(dest_pfn)
+
+        keep_shadow = (
+            self.shadow is not None
+            and req.dest_tier == 0  # promotion
+            and src_page.tier_id == 1
+        )
+
+        new_value = pte_mod.pte_with_pfn(value, dest_pfn)
+        new_value = pte_mod.pte_clear_flag(new_value, pte_mod.PTE_DIRTY)
+        if keep_shadow:
+            new_value = pte_mod.pte_set_flag(new_value, pte_mod.PTE_SHADOW)
+        repl.update(req.vpn, new_value)
+
+        dest_page.attach(req.pid, req.vpn)
+        dest_page.heat = src_page.heat
+        dest_page.reads = src_page.reads
+        dest_page.writes = src_page.writes
+        dest_page.epoch_reads = src_page.epoch_reads
+        dest_page.epoch_writes = src_page.epoch_writes
+        dest_page.accessing_tids = set(src_page.accessing_tids)
+
+        # LRU relink.
+        if src_pfn in self.lru.lists[src_page.tier_id]:
+            self.lru.lists[src_page.tier_id].remove(src_pfn)
+        if dest_pfn not in self.lru.lists[req.dest_tier]:
+            self.lru.lists[req.dest_tier].insert(dest_pfn)
+
+        if keep_shadow:
+            assert self.shadow is not None
+            self.shadow.retain(fast_pfn=dest_pfn, shadow_pfn=src_pfn)
+            src_page.state = PageState.SHADOW
+        else:
+            self.allocator.free(src_pfn)
+
+        self.stats.pages_moved += 1
+        if req.dest_tier == 0:
+            self.stats.promotions += 1
+        else:
+            self.stats.demotions += 1

@@ -1,0 +1,117 @@
+"""Physical frame metadata.
+
+One :class:`PhysPage` exists per physical frame the simulator has handed
+out.  It carries the reverse mapping (which process/vpn maps it), access
+statistics the profilers summarize, and migration bookkeeping (shadow
+links, in-flight transactional copies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PageState(enum.Enum):
+    """Lifecycle of a physical frame."""
+
+    FREE = "free"
+    MAPPED = "mapped"
+    MIGRATING = "migrating"  # transactional copy in flight
+    SHADOW = "shadow"  # retained slow-tier copy of a promoted page
+
+
+@dataclass
+class PhysPage:
+    """Metadata for one physical frame.
+
+    Attributes
+    ----------
+    pfn:
+        Global physical frame number (tier encoded by the allocator).
+    tier_id:
+        0 = fast, 1 = slow.
+    pid / vpn:
+        Reverse map: the single process mapping this frame.  The
+        simulator models private anonymous memory (the paper's
+        workloads), so one frame has at most one (pid, vpn) mapping;
+        *thread-level* sharing within the process is tracked in the PTE
+        ownership bits, not here.
+    reads / writes:
+        Cumulative access counts since last profiler epoch reset.
+    heat:
+        Exponentially-decayed hotness maintained by the profiling layer.
+    last_access_cycle:
+        For recency-based policies and idle-time estimation.
+    shadow_pfn:
+        If this is a promoted fast-tier frame, the retained slow-tier
+        shadow copy (Nomad-style), else ``None``.
+    dirty_since_copy:
+        Set when a write lands while a transactional copy is in flight;
+        the async engine uses it to detect failed transactions.
+    """
+
+    pfn: int
+    tier_id: int
+    state: PageState = PageState.FREE
+    pid: int | None = None
+    vpn: int | None = None
+    reads: int = 0
+    writes: int = 0
+    heat: float = 0.0
+    last_access_cycle: int = 0
+    shadow_pfn: int | None = None
+    dirty_since_copy: bool = False
+    epoch_reads: int = 0
+    epoch_writes: int = 0
+    accessing_tids: set[int] = field(default_factory=set)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of accesses that were writes (0 when untouched)."""
+        total = self.total_accesses
+        return self.writes / total if total else 0.0
+
+    def record_access(self, is_write: bool, tid: int, cycle: int, count: int = 1) -> None:
+        """Account ``count`` accesses by thread ``tid`` at ``cycle``."""
+        if is_write:
+            self.writes += count
+            self.epoch_writes += count
+            if self.state is PageState.MIGRATING:
+                self.dirty_since_copy = True
+        else:
+            self.reads += count
+            self.epoch_reads += count
+        self.last_access_cycle = cycle
+        self.accessing_tids.add(tid)
+
+    def reset_epoch_counters(self) -> None:
+        """Start a fresh profiling epoch (heat is decayed elsewhere)."""
+        self.epoch_reads = 0
+        self.epoch_writes = 0
+
+    def attach(self, pid: int, vpn: int) -> None:
+        """Bind this frame to a virtual page (allocator → address space)."""
+        if self.state not in (PageState.FREE, PageState.SHADOW):
+            raise ValueError(f"frame {self.pfn} already {self.state.value}")
+        self.pid = pid
+        self.vpn = vpn
+        self.state = PageState.MAPPED
+
+    def detach(self) -> None:
+        """Unbind and reset per-mapping statistics."""
+        self.pid = None
+        self.vpn = None
+        self.state = PageState.FREE
+        self.reads = 0
+        self.writes = 0
+        self.heat = 0.0
+        self.epoch_reads = 0
+        self.epoch_writes = 0
+        self.shadow_pfn = None
+        self.dirty_since_copy = False
+        self.accessing_tids.clear()

@@ -1,0 +1,196 @@
+"""Per-thread page-table replication (paper §3.4).
+
+Vulcan replicates the *upper* levels (PGD/PUD/PMD) per thread while
+sharing the *last-level* (PT) pages across all threads of a process —
+last-level tables are the bulk of page-table memory, so replicas stay
+small.  Ownership is tracked in the PTE itself (bits 52-58): a page
+first touched by thread *t* is owned by *t*; when a second thread
+touches it the entry is flipped to the shared sentinel ``0x7F``.
+
+Because leaf tables are shared by reference, a PTE update made through
+any thread's tree (or the process-wide tree) is instantly visible in all
+of them — exactly the single-store semantics of the real design, where
+there is only one physical leaf entry.
+
+The payoff computed here is the *shootdown scope*: for a private page
+only the owner thread's core needs an IPI; for a shared page only the
+threads whose trees link the covering leaf table do.  The process-wide
+fallback (no replication) must IPI every core running any thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mm import pte as pte_mod
+from repro.mm.page_table import LEVEL_BITS, PageTable, PageTableNode
+from repro.mm.pte import PTE_MAX_TID, PTE_SHARED_TID
+
+
+@dataclass
+class ReplicationStats:
+    """Counters describing replication behaviour."""
+
+    private_faults: int = 0
+    shared_promotions: int = 0
+    leaf_links: int = 0
+    replica_upper_pages: int = 0  # refreshed by `upper_table_overhead`
+
+
+class ReplicatedPageTables:
+    """The process-wide table plus per-thread replicas sharing leaves.
+
+    Threads are identified by a small per-process ``tid`` (0..0x7E);
+    ``0x7F`` is reserved for the shared sentinel, matching the 7-bit PTE
+    field of the paper's kernel patch.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.process_table = PageTable()
+        self.thread_tables: dict[int, PageTable] = {}
+        #: leaf_base (vpn >> 9) -> set of tids whose trees link that leaf.
+        self._leaf_tids: dict[int, set[int]] = {}
+        self.stats = ReplicationStats()
+
+    # -- thread lifecycle ---------------------------------------------------
+
+    def register_thread(self, tid: int) -> None:
+        """Create the (initially empty) replica for a new thread."""
+        if not 0 <= tid <= PTE_MAX_TID:
+            raise ValueError(f"tid {tid} outside the 7-bit ownership field (0x7F reserved)")
+        if tid in self.thread_tables:
+            raise ValueError(f"tid {tid} already registered")
+        self.thread_tables[tid] = PageTable()
+
+    @property
+    def tids(self) -> set[int]:
+        return set(self.thread_tables)
+
+    def table_for(self, tid: int) -> PageTable:
+        """The tree loaded into CR3 while ``tid`` runs (process-wide when
+        replication is disabled)."""
+        if not self.enabled:
+            return self.process_table
+        return self.thread_tables[tid]
+
+    # -- fault handling -------------------------------------------------------
+
+    def _leaf_base(self, vpn: int) -> int:
+        return vpn >> LEVEL_BITS
+
+    def _shared_leaf(self, vpn: int) -> PageTableNode:
+        """Get-or-create the canonical leaf for ``vpn`` in the process tree."""
+        leaf = self.process_table.leaf_for(vpn)
+        if leaf is None:
+            created: list[PageTableNode] = []
+
+            def factory() -> PageTableNode:
+                node = PageTableNode(level=0)
+                created.append(node)
+                return node
+
+            leaf = self.process_table._walk_to_leaf(vpn, create=True, leaf_factory=factory)
+            assert leaf is not None
+            if created:
+                self.process_table.node_count_by_level[0] += 1
+        return leaf
+
+    def _link_leaf(self, vpn: int, tid: int) -> None:
+        """Make ``tid``'s tree reference the canonical leaf for ``vpn``."""
+        base = self._leaf_base(vpn)
+        linked = self._leaf_tids.setdefault(base, set())
+        if tid in linked:
+            return
+        leaf = self._shared_leaf(vpn)
+        self.thread_tables[tid].install_leaf(vpn, leaf)
+        linked.add(tid)
+        self.stats.leaf_links += 1
+
+    def handle_fault(self, vpn: int, tid: int, pfn: int, *, writable: bool = True) -> int:
+        """Install a new mapping on a demand fault by ``tid``.
+
+        Returns the PTE value installed.  With replication enabled the
+        entry is stamped with ``tid`` as owner and the covering shared
+        leaf is linked into ``tid``'s replica.
+        """
+        if self.enabled and tid not in self.thread_tables:
+            raise KeyError(f"tid {tid} not registered")
+        owner = tid if self.enabled else PTE_SHARED_TID
+        value = pte_mod.pte_make(pfn=pfn, tid=owner, writable=writable, accessed=True)
+        self.process_table.map(vpn, value)
+        if self.enabled:
+            self._link_leaf(vpn, tid)
+            self.stats.private_faults += 1
+        return value
+
+    def note_access(self, vpn: int, tid: int) -> bool:
+        """Record that ``tid`` touched ``vpn``; promote to shared if a
+        non-owner touches a private page.
+
+        Returns ``True`` when the ownership transitioned private→shared
+        (the caller should charge a minor-fault cost: the second thread
+        faults on its replica, finds the process entry, links the leaf).
+        """
+        if not self.enabled:
+            return False
+        value = self.process_table.lookup(vpn)
+        if value is None:
+            raise KeyError(f"vpn {vpn} not mapped")
+        owner = pte_mod.pte_tid(value)
+        if owner == tid:
+            return False
+        if tid not in self.thread_tables:
+            raise KeyError(f"tid {tid} not registered")
+        self._link_leaf(vpn, tid)
+        if owner != PTE_SHARED_TID:
+            self.process_table.update(vpn, pte_mod.pte_with_tid(value, PTE_SHARED_TID))
+            self.stats.shared_promotions += 1
+            return True
+        return False
+
+    # -- queries the migration engine needs ---------------------------------
+
+    def lookup(self, vpn: int) -> int | None:
+        return self.process_table.lookup(vpn)
+
+    def update(self, vpn: int, new_value: int) -> None:
+        """Single-store PTE update, visible through every replica."""
+        self.process_table.update(vpn, new_value)
+
+    def unmap(self, vpn: int) -> int:
+        """Clear the (shared) PTE; replicas see it vanish simultaneously."""
+        return self.process_table.unmap(vpn)
+
+    def sharing_tids(self, vpn: int) -> set[int]:
+        """Threads that may cache a translation for ``vpn``.
+
+        Private page → exactly the owner.  Shared page → every thread
+        whose replica links the covering leaf table.  Replication
+        disabled → every registered thread (process-wide coherence).
+        """
+        value = self.process_table.lookup(vpn)
+        if value is None:
+            return set()
+        if not self.enabled:
+            return set(self.thread_tables) if self.thread_tables else set()
+        owner = pte_mod.pte_tid(value)
+        if owner != PTE_SHARED_TID:
+            return {owner}
+        return set(self._leaf_tids.get(self._leaf_base(vpn), set()))
+
+    def is_private(self, vpn: int) -> bool:
+        """True when the page is owned by a single thread."""
+        value = self.process_table.lookup(vpn)
+        if value is None:
+            raise KeyError(f"vpn {vpn} not mapped")
+        return pte_mod.pte_tid(value) != PTE_SHARED_TID
+
+    # -- overhead accounting -------------------------------------------------
+
+    def upper_table_overhead(self) -> int:
+        """Extra table pages paid for replication (paper §3.6 trade-off):
+        the per-thread upper-level pages beyond the process-wide tree."""
+        extra = sum(t.table_pages(include_leaves=False) for t in self.thread_tables.values())
+        self.stats.replica_upper_pages = extra
+        return extra

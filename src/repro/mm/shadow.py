@@ -1,0 +1,94 @@
+"""Nomad-style page shadowing (paper §3.5, borrowed from Nomad).
+
+When a page is promoted to the fast tier, its slow-tier copy is retained
+as a *shadow* instead of being freed.  If the page later needs demotion
+and has not been dirtied since promotion, demotion degenerates to a
+remap — no copy at all.  A write to the promoted page invalidates the
+shadow (the copies diverged).
+
+Shadows consume slow-tier frames, so the tracker supports reclaim when
+the slow tier runs short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ShadowStats:
+    retained: int = 0
+    invalidated_by_write: int = 0
+    remap_demotions: int = 0
+    reclaimed: int = 0
+
+
+@dataclass
+class ShadowTracker:
+    """Tracks fast-tier pages that still have a clean slow-tier twin."""
+
+    enabled: bool = True
+    #: fast pfn -> retained slow pfn
+    _shadows: dict[int, int] = field(default_factory=dict)
+    #: shadows invalidated by writes but whose frame is not yet freed;
+    #: the owner (allocator-side caller) reclaims these lazily.
+    _stale: set[int] = field(default_factory=set)
+    stats: ShadowStats = field(default_factory=ShadowStats)
+
+    def __len__(self) -> int:
+        return len(self._shadows)
+
+    def retain(self, fast_pfn: int, shadow_pfn: int) -> None:
+        """Record that ``fast_pfn``'s old slow-tier frame lives on."""
+        if not self.enabled:
+            raise RuntimeError("shadowing disabled")
+        if fast_pfn in self._shadows:
+            raise ValueError(f"fast pfn {fast_pfn} already shadowed")
+        self._shadows[fast_pfn] = shadow_pfn
+        self.stats.retained += 1
+
+    def shadow_of(self, fast_pfn: int) -> int | None:
+        return self._shadows.get(fast_pfn)
+
+    def on_write(self, fast_pfn: int) -> int | None:
+        """A write diverged the copies; drop the shadow.
+
+        Returns the now-stale slow pfn (for the caller to free) or None.
+        """
+        shadow_pfn = self._shadows.pop(fast_pfn, None)
+        if shadow_pfn is not None:
+            self._stale.add(shadow_pfn)
+            self.stats.invalidated_by_write += 1
+        return shadow_pfn
+
+    def can_remap_demote(self, fast_pfn: int, *, dirty: bool) -> bool:
+        """True when demotion can skip the copy: shadow exists and the
+        fast copy is clean."""
+        if not self.enabled:
+            return False
+        if dirty:
+            # A dirty PTE means the shadow silently diverged; invalidate.
+            self.on_write(fast_pfn)
+            return False
+        return fast_pfn in self._shadows
+
+    def consume(self, fast_pfn: int) -> int:
+        """Use the shadow as the demotion destination (remap-demote)."""
+        shadow_pfn = self._shadows.pop(fast_pfn)
+        self.stats.remap_demotions += 1
+        return shadow_pfn
+
+    def drain_stale(self) -> list[int]:
+        """Hand back stale shadow frames for freeing."""
+        out = list(self._stale)
+        self._stale.clear()
+        self.stats.reclaimed += len(out)
+        return out
+
+    def reclaim_all(self) -> list[int]:
+        """Emergency: drop every shadow (slow tier under pressure)."""
+        out = list(self._shadows.values()) + list(self._stale)
+        self.stats.reclaimed += len(out)
+        self._shadows.clear()
+        self._stale.clear()
+        return out

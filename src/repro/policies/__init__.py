@@ -1,0 +1,46 @@
+"""Tiering policies: the paper's baselines and Vulcan, on one substrate.
+
+All policies implement :class:`TieringPolicy` so the co-location harness
+can swap them freely:
+
+* :class:`NoMigrationPolicy` — first-touch placement, never migrates.
+* :class:`UniformStaticPolicy` — the §3.3 straw-man: fast memory split
+  evenly, per-workload hotness tiering inside the static share.
+* :class:`TppPolicy` — TPP: hint-fault promotion (sync), watermark-based
+  proactive demotion, no workload awareness.
+* :class:`MemtisPolicy` — Memtis: PEBS + global hotness threshold sized
+  to fast capacity, async migration; the cold-page-dilemma exemplar.
+* :class:`NomadPolicy` — Nomad: transactional async migration with page
+  shadowing, TPP-like placement logic.
+* :class:`VulcanPolicy` — the paper's system, wiring the
+  :class:`repro.core.daemon.VulcanDaemon`.
+"""
+
+from repro.policies.base import EpochResult, TieringPolicy, WorkloadRuntime
+from repro.policies.memtis import MemtisPolicy
+from repro.policies.nomad import NomadPolicy
+from repro.policies.static import NoMigrationPolicy, UniformStaticPolicy
+from repro.policies.tpp import TppPolicy
+from repro.policies.vulcan import VulcanPolicy
+
+POLICY_REGISTRY = {
+    "none": NoMigrationPolicy,
+    "uniform": UniformStaticPolicy,
+    "tpp": TppPolicy,
+    "memtis": MemtisPolicy,
+    "nomad": NomadPolicy,
+    "vulcan": VulcanPolicy,
+}
+
+__all__ = [
+    "EpochResult",
+    "TieringPolicy",
+    "WorkloadRuntime",
+    "NoMigrationPolicy",
+    "UniformStaticPolicy",
+    "TppPolicy",
+    "MemtisPolicy",
+    "NomadPolicy",
+    "VulcanPolicy",
+    "POLICY_REGISTRY",
+]

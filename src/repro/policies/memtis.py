@@ -1,0 +1,117 @@
+"""Memtis (Lee et al., SOSP'23) — the cold-page-dilemma exemplar.
+
+Re-implemented from the paper's description:
+
+* **Profiling**: PEBS sampling with per-page access counts and periodic
+  halving (our decay), feeding a global hotness histogram.
+* **Placement**: capacity-based — "ranks memory pages based on their
+  absolute access frequency and promotes them to fast memory in
+  descending order of heat until the fast memory capacity is fully
+  utilized" (paper §2.2).  The hot threshold is global across all
+  managed processes: no normalization per workload, so a high-intensity
+  co-runner monopolizes the fast tier.
+* **Migration**: asynchronous background threads (kmigrated-style), off
+  the critical path; we model it with the transactional engine so dirty
+  retries behave realistically, with a modest reserved headroom kept
+  free for new allocations.
+"""
+
+from __future__ import annotations
+
+from repro.mm import pte as pte_mod
+from repro.mm.migration import MigrationRequest, OptimizationFlags
+from repro.policies.base import TieringPolicy
+from repro.profiling.base import Profiler
+from repro.profiling.histogram import HotnessHistogram
+from repro.profiling.pebs import PebsProfiler
+
+
+class MemtisPolicy(TieringPolicy):
+    """Global-threshold capacity tiering with async migration."""
+
+    name = "memtis"
+    replication_enabled = False
+    engine_flags = OptimizationFlags(opt_prep=False, opt_tlb=False)
+
+    def __init__(
+        self,
+        *args,
+        sampling_period: int = 64,
+        migration_budget: int = 512,
+        reserve_frac: float = 0.01,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.histogram = HotnessHistogram()
+        self.sampling_period = sampling_period
+        self.migration_budget = migration_budget
+        self.reserve_frac = reserve_frac
+
+    def _make_profiler(self, pid: int) -> Profiler:
+        import numpy as np
+
+        return PebsProfiler(
+            period=self.sampling_period,
+            decay=0.5,
+            rng=np.random.default_rng(self.rng.integers(2**63)),
+        )
+
+    def _plan_and_migrate(self) -> None:
+        """One kmigrated pass: compute the global hot set, converge."""
+        if not self.workloads:
+            return
+        capacity = int(self.allocator.tiers[0].total * (1.0 - self.reserve_frac))
+
+        # Build the global heat table (pid, vpn) -> heat.
+        entries: list[tuple[float, int, int, int]] = []  # (heat, pid, vpn, tier)
+        for pid, rt in self.workloads.items():
+            heat = rt.profiler.hotness(pid)
+            for vpn, value in rt.space.process.repl.process_table.iter_ptes():
+                tier = self.allocator.tier_of_pfn(pte_mod.pte_pfn(value))
+                entries.append((heat.get(vpn, 0.0), pid, vpn, tier))
+        if not entries:
+            return
+
+        # The capacity-sized global hot set: hottest pages first, raw
+        # absolute counts, no per-workload normalization (Observation #1).
+        entries.sort(key=lambda e: (-e[0], e[1], e[2]))
+        hot_entries = [e for e in entries[:capacity] if e[0] > 0.0]
+        n_hot = len(hot_entries)
+
+        # Promote hot pages stuck in the slow tier, hottest first.
+        promotions = [(h, pid, vpn) for h, pid, vpn, tier in hot_entries if tier == 1]
+        # Demotion victims: fast pages outside the hot set, coldest first.
+        demotions = [
+            (h, pid, vpn)
+            for h, pid, vpn, tier in entries[n_hot:]
+            if tier == 0
+        ]
+        demotions.sort()
+        free = self.allocator.free_frames(0)
+        budget = self.migration_budget
+
+        n_promote = min(len(promotions), budget)
+        # Demote enough to make room for the promotions.
+        room_needed = max(n_promote - free, 0)
+        n_demote = min(room_needed, len(demotions), budget)
+
+        by_pid: dict[int, list[MigrationRequest]] = {}
+        for heat, pid, vpn in demotions[:n_demote]:
+            by_pid.setdefault(pid, []).append(
+                MigrationRequest(pid=pid, vpn=vpn, dest_tier=1, sync=False)
+            )
+        n_promote = min(n_promote, free + n_demote)
+        for heat, pid, vpn in promotions[:n_promote]:
+            rt = self.workloads[pid]
+            by_pid.setdefault(pid, []).append(
+                MigrationRequest(
+                    pid=pid,
+                    vpn=vpn,
+                    dest_tier=0,
+                    sync=False,
+                    write_fraction=rt.profiler.write_fraction(pid, vpn),
+                    access_rate_per_kcycle=rt.access_rate_per_kcycle,
+                )
+            )
+        for pid, reqs in by_pid.items():
+            self.workloads[pid].engine.migrate_batch(reqs)

@@ -1,0 +1,84 @@
+"""Static baselines: no migration, and the uniform-partition straw-man."""
+
+from __future__ import annotations
+
+from repro.mm import pte as pte_mod
+from repro.mm.migration import MigrationRequest
+from repro.policies.base import TieringPolicy, WorkloadRuntime
+from repro.profiling.base import Profiler
+from repro.profiling.pebs import PebsProfiler
+
+
+class NoMigrationPolicy(TieringPolicy):
+    """First-touch placement forever.  The floor every tiering system
+    should beat; also the 'standalone all-fast' reference when the fast
+    tier is large enough to hold a workload."""
+
+    name = "none"
+
+    def _make_profiler(self, pid: int) -> Profiler:
+        # Still profile (cheaply) so hit-ratio reporting works.
+        return PebsProfiler(period=512, rng=self.rng)
+
+    def _plan_and_migrate(self) -> None:
+        return  # never migrates
+
+
+class UniformStaticPolicy(TieringPolicy):
+    """The §3.3 straw-man: fast memory split evenly across workloads,
+    hotness-based promotion/demotion confined to each static share.
+
+    Fair by construction but inefficient: shares never follow demand, so
+    a tiering-sensitive workload starves while a scan-heavy one wastes
+    its slice."""
+
+    name = "uniform"
+
+    def __init__(self, *args, promotion_budget: int = 256, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.promotion_budget = promotion_budget
+
+    def _make_profiler(self, pid: int) -> Profiler:
+        return PebsProfiler(period=64, rng=self.rng)
+
+    def _plan_and_migrate(self) -> None:
+        n = len(self.workloads)
+        if n == 0:
+            return
+        share = self.allocator.tiers[0].total // n
+        for pid, rt in self.workloads.items():
+            self._rebalance_workload(pid, rt, share)
+
+    def _rebalance_workload(self, pid: int, rt: WorkloadRuntime, share: int) -> None:
+        heat = rt.profiler.hotness(pid)
+        repl = rt.space.process.repl
+
+        fast_pages: list[tuple[float, int]] = []  # (heat, vpn)
+        slow_pages: list[tuple[float, int]] = []
+        for vpn, value in repl.process_table.iter_ptes():
+            h = heat.get(vpn, 0.0)
+            if self.allocator.tier_of_pfn(pte_mod.pte_pfn(value)) == 0:
+                fast_pages.append((h, vpn))
+            else:
+                slow_pages.append((h, vpn))
+
+        requests: list[MigrationRequest] = []
+        # Shrink to the static share first.
+        overage = len(fast_pages) - share
+        if overage > 0:
+            fast_pages.sort()  # coldest first
+            for h, vpn in fast_pages[:overage]:
+                requests.append(MigrationRequest(pid=pid, vpn=vpn, dest_tier=1, sync=True))
+            fast_pages = fast_pages[overage:]
+
+        # Promote hottest slow pages into remaining headroom.
+        headroom = share - len(fast_pages)
+        headroom = min(headroom, self.promotion_budget)
+        if headroom > 0 and slow_pages:
+            slow_pages.sort(reverse=True)  # hottest first
+            for h, vpn in slow_pages[:headroom]:
+                if h <= 0.0:
+                    break
+                requests.append(MigrationRequest(pid=pid, vpn=vpn, dest_tier=0, sync=True))
+        if requests:
+            rt.engine.migrate_batch(requests)

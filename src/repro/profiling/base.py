@@ -1,0 +1,134 @@
+"""Profiler interface and shared heat bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AccessBatch:
+    """One epoch's worth of accesses from one thread of one process."""
+
+    pid: int
+    tid: int
+    vpns: np.ndarray  # int64
+    is_write: np.ndarray  # bool, same shape
+
+    def __post_init__(self) -> None:
+        if self.vpns.shape != self.is_write.shape:
+            raise ValueError("vpns and is_write must have identical shape")
+
+    @property
+    def n(self) -> int:
+        return int(self.vpns.size)
+
+
+@dataclass
+class ProfilerStats:
+    """Cost/quality accounting common to all profilers."""
+
+    epochs: int = 0
+    samples_taken: int = 0
+    accesses_seen: int = 0
+    #: profiling CPU overhead charged to the *system* (daemon side)
+    overhead_cycles: float = 0.0
+    #: profiling overhead charged to the *application* (e.g. hint faults)
+    app_overhead_cycles: float = 0.0
+
+
+class Profiler:
+    """Base class: per-(pid, vpn) exponentially-decayed heat.
+
+    Subclasses implement :meth:`observe` to turn the raw stream into
+    heat contributions via their mechanism's lens, then call
+    :meth:`_accumulate`.
+
+    Heat decays by ``decay`` each epoch (Memtis-style halving when
+    ``decay=0.5``), so hotness tracks the recent past.
+    """
+
+    #: human-readable mechanism name, overridden by subclasses
+    mechanism = "abstract"
+
+    def __init__(self, decay: float = 0.5) -> None:
+        if not 0.0 <= decay <= 1.0:
+            raise ValueError("decay must lie in [0, 1]")
+        self.decay = decay
+        #: pid -> {vpn: heat}
+        self._heat: dict[int, dict[int, float]] = {}
+        #: pid -> {vpn: write-heat} (for read/write classification)
+        self._write_heat: dict[int, dict[int, float]] = {}
+        self.stats = ProfilerStats()
+
+    # -- subclass API ----------------------------------------------------
+
+    def observe(self, batch: AccessBatch) -> None:
+        """Ingest one access batch (mechanism-specific)."""
+        raise NotImplementedError
+
+    def _accumulate(self, pid: int, vpns: np.ndarray, weights: np.ndarray, write_weights: np.ndarray | None = None) -> None:
+        """Add heat mass to pages of ``pid`` (vectorized per unique page)."""
+        if vpns.size == 0:
+            return
+        heat = self._heat.setdefault(pid, {})
+        uniq, inverse = np.unique(vpns, return_inverse=True)
+        sums = np.bincount(inverse, weights=weights)
+        for vpn, w in zip(uniq.tolist(), sums.tolist()):
+            heat[vpn] = heat.get(vpn, 0.0) + w
+        if write_weights is not None:
+            wheat = self._write_heat.setdefault(pid, {})
+            wsums = np.bincount(inverse, weights=write_weights)
+            for vpn, w in zip(uniq.tolist(), wsums.tolist()):
+                if w > 0.0:
+                    wheat[vpn] = wheat.get(vpn, 0.0) + w
+
+    # -- common API ---------------------------------------------------------
+
+    def end_epoch(self) -> None:
+        """Decay heat; subclasses extend for rotation/scan bookkeeping."""
+        self.stats.epochs += 1
+        if self.decay < 1.0:
+            for heat in self._heat.values():
+                dead = []
+                for vpn in heat:
+                    heat[vpn] *= self.decay
+                    if heat[vpn] < 1e-6:
+                        dead.append(vpn)
+                for vpn in dead:
+                    del heat[vpn]
+            for wheat in self._write_heat.values():
+                dead = []
+                for vpn in wheat:
+                    wheat[vpn] *= self.decay
+                    if wheat[vpn] < 1e-6:
+                        dead.append(vpn)
+                for vpn in dead:
+                    del wheat[vpn]
+
+    def hotness(self, pid: int) -> dict[int, float]:
+        """Current per-page heat estimates for ``pid`` (live view)."""
+        return self._heat.get(pid, {})
+
+    def write_heat(self, pid: int) -> dict[int, float]:
+        """Write-specific heat (for read/write intensity classification)."""
+        return self._write_heat.get(pid, {})
+
+    def write_fraction(self, pid: int, vpn: int) -> float:
+        """Estimated fraction of accesses to ``vpn`` that are writes."""
+        h = self._heat.get(pid, {}).get(vpn, 0.0)
+        if h <= 0.0:
+            return 0.0
+        w = self._write_heat.get(pid, {}).get(vpn, 0.0)
+        return min(w / h, 1.0)
+
+    def hottest(self, pid: int, n: int) -> list[tuple[int, float]]:
+        """Top-``n`` (vpn, heat) pairs, hottest first, vpn-tiebroken."""
+        heat = self._heat.get(pid, {})
+        return sorted(heat.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def forget(self, pid: int) -> None:
+        """Drop all state for an exited process."""
+        self._heat.pop(pid, None)
+        self._write_heat.pop(pid, None)

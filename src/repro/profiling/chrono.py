@@ -1,0 +1,92 @@
+"""Chrono-style timer-based hotness measurement (paper §2.1).
+
+Chrono (EuroSys'25) refines hinting-fault profiling by recording each
+page's *idle time* — the interval between un-poisoning and the next
+fault — rather than a bare touched/untouched bit.  Short idle time ⇒
+frequently accessed; long ⇒ cold.  Hotness here is the EMA of
+``1 / (idle_epochs + 1)``, giving a bounded (0, 1] per-observation
+signal that separates "touched instantly every window" from "touched
+eventually".
+
+Costs mirror the hint-fault mechanism: the application pays the fault,
+the daemon pays poisoning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiling.base import AccessBatch, Profiler
+from repro.profiling.hintfault import HINT_FAULT_COST_CYCLES, POISON_COST_CYCLES
+
+
+class ChronoProfiler(Profiler):
+    """Idle-time-weighted rotating poisoning."""
+
+    mechanism = "chrono"
+
+    def __init__(self, window_fraction: float = 0.125, decay: float = 0.5) -> None:
+        super().__init__(decay=decay)
+        if not 0.0 < window_fraction <= 1.0:
+            raise ValueError("window_fraction must be in (0, 1]")
+        self.window_fraction = window_fraction
+        self._pages: dict[int, np.ndarray] = {}
+        #: pid -> {vpn: epoch poisoned}, for idle-time measurement
+        self._poisoned_at: dict[int, dict[int, int]] = {}
+        self._cursor: dict[int, int] = {}
+        self._epoch = 0
+
+    def register_pages(self, pid: int, vpns: np.ndarray) -> None:
+        self._pages[pid] = np.sort(np.asarray(vpns, dtype=np.int64))
+        self._cursor.setdefault(pid, 0)
+        if pid not in self._poisoned_at:
+            self._rotate(pid)
+
+    def _rotate(self, pid: int) -> None:
+        pages = self._pages.get(pid)
+        if pages is None or pages.size == 0:
+            self._poisoned_at[pid] = {}
+            return
+        window = max(int(pages.size * self.window_fraction), 1)
+        start = self._cursor.get(pid, 0) % pages.size
+        idx = (start + np.arange(window)) % pages.size
+        poisoned = self._poisoned_at.setdefault(pid, {})
+        for vpn in pages[idx].tolist():
+            poisoned.setdefault(vpn, self._epoch)
+        self._cursor[pid] = (start + window) % pages.size
+        self.stats.overhead_cycles += window * POISON_COST_CYCLES
+
+    def observe(self, batch: AccessBatch) -> None:
+        self.stats.accesses_seen += batch.n
+        if batch.n == 0:
+            return
+        poisoned = self._poisoned_at.get(batch.pid)
+        if not poisoned:
+            return
+        parr = np.fromiter(poisoned, dtype=np.int64)
+        mask = np.isin(batch.vpns, parr)
+        hits = np.unique(batch.vpns[mask])
+        if hits.size == 0:
+            return
+        self.stats.samples_taken += int(hits.size)
+        self.stats.app_overhead_cycles += hits.size * HINT_FAULT_COST_CYCLES
+        # Idle time = epochs the page sat poisoned before this fault.
+        weights = np.empty(hits.size, dtype=np.float64)
+        for i, vpn in enumerate(hits.tolist()):
+            idle = self._epoch - poisoned.pop(vpn)
+            weights[i] = 1.0 / (idle + 1.0)
+        w_hits = np.unique(batch.vpns[mask & batch.is_write])
+        wweights = np.where(np.isin(hits, w_hits), weights, 0.0)
+        self._accumulate(batch.pid, hits, weights, write_weights=wweights)
+
+    def end_epoch(self) -> None:
+        self._epoch += 1
+        for pid in list(self._pages):
+            self._rotate(pid)
+        super().end_epoch()
+
+    def forget(self, pid: int) -> None:
+        super().forget(pid)
+        self._pages.pop(pid, None)
+        self._poisoned_at.pop(pid, None)
+        self._cursor.pop(pid, None)

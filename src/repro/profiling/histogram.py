@@ -1,0 +1,72 @@
+"""Memtis-style global hotness histogram and threshold selection.
+
+Memtis keeps a logarithmic histogram of page access counts and picks the
+*hot threshold* as the smallest heat such that all pages at or above it
+fit in the fast tier.  This is exactly the mechanism that produces the
+cold-page dilemma (paper Observation #1): the threshold is global across
+processes, so one high-intensity workload pushes it above every
+co-runner's heat range.
+
+The histogram is also reused per-workload by Vulcan (thresholds within a
+partition), so it takes heat from any source dict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class HotnessHistogram:
+    """Log-bucketed heat histogram with capacity-threshold queries."""
+
+    def __init__(self, n_bins: int = 16, base: float = 2.0) -> None:
+        if n_bins < 2:
+            raise ValueError("need at least two bins")
+        if base <= 1.0:
+            raise ValueError("log base must exceed 1")
+        self.n_bins = n_bins
+        self.base = base
+
+    def bin_of(self, heat: float) -> int:
+        """Bucket index for a heat value (0 = coldest)."""
+        if heat <= 0.0:
+            return 0
+        b = int(np.floor(np.log(heat) / np.log(self.base))) + 1
+        return int(np.clip(b, 0, self.n_bins - 1))
+
+    def build(self, heats: np.ndarray) -> np.ndarray:
+        """Histogram counts over the ``n_bins`` buckets."""
+        counts = np.zeros(self.n_bins, dtype=np.int64)
+        if heats.size == 0:
+            return counts
+        safe = np.where(heats > 0.0, heats, np.nan)
+        bins = np.floor(np.log(safe) / np.log(self.base)) + 1
+        bins = np.where(np.isnan(bins), 0, bins)
+        bins = np.clip(bins, 0, self.n_bins - 1).astype(np.int64)
+        np.add.at(counts, bins, 1)
+        return counts
+
+    def hot_threshold(self, heats: np.ndarray, capacity_pages: int) -> float:
+        """Smallest heat such that pages >= it fit in ``capacity_pages``.
+
+        Works on exact heats (the histogram binning is how the kernel
+        implementation bounds memory; with simulator-scale page counts we
+        can afford the exact ordering, which the histogram approximates).
+        Returns ``0.0`` when everything fits.
+        """
+        if capacity_pages < 0:
+            raise ValueError("capacity must be non-negative")
+        if heats.size <= capacity_pages:
+            return 0.0
+        if capacity_pages == 0:
+            return float(np.inf)
+        # k-th hottest heat, hottest-first.
+        part = np.partition(heats, heats.size - capacity_pages)
+        return float(part[heats.size - capacity_pages])
+
+    def hot_set(self, heat_by_vpn: dict[int, float], capacity_pages: int) -> set[int]:
+        """The concrete page set Memtis would place in fast memory."""
+        if not heat_by_vpn or capacity_pages <= 0:
+            return set()
+        items = sorted(heat_by_vpn.items(), key=lambda kv: (-kv[1], kv[0]))
+        return {vpn for vpn, _ in items[:capacity_pages]}

@@ -1,0 +1,54 @@
+"""PEBS-style hardware-event sampling profiler.
+
+Models Processor Event-Based Sampling of memory-access events (as used
+by Memtis, HeMem, FlexMem): every ``period``-th access (with random
+phase) produces a sample carrying the page address.  Cheap and
+frequency-proportional, but at terabyte scale the fixed sampling budget
+makes infrequently-accessed hot pages invisible — the false-negative
+problem Telescope documents (paper §2.1).
+
+Overhead model: each retired sample costs the PEBS interrupt/drain path
+~1.2K cycles on the daemon side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiling.base import AccessBatch, Profiler
+
+#: Daemon-side cost of harvesting one PEBS sample (interrupt + parse).
+SAMPLE_COST_CYCLES = 1_200.0
+
+
+class PebsProfiler(Profiler):
+    """Sampling profiler with configurable period."""
+
+    mechanism = "pebs"
+
+    def __init__(self, period: int = 64, decay: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__(decay=decay)
+        if period < 1:
+            raise ValueError("sampling period must be >= 1")
+        self.period = period
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def observe(self, batch: AccessBatch) -> None:
+        """Keep ~1/period of the stream, heat-weighted by the period so
+        expected heat equals true access counts."""
+        n = batch.n
+        self.stats.accesses_seen += n
+        if n == 0:
+            return
+        # Random-phase systematic sampling — the standard PEBS counter
+        # reload behaviour: deterministic stride, random initial offset.
+        start = int(self.rng.integers(self.period))
+        idx = np.arange(start, n, self.period)
+        if idx.size == 0:
+            return
+        self.stats.samples_taken += int(idx.size)
+        self.stats.overhead_cycles += idx.size * SAMPLE_COST_CYCLES
+        vpns = batch.vpns[idx]
+        writes = batch.is_write[idx]
+        weights = np.full(idx.size, float(self.period))
+        self._accumulate(batch.pid, vpns, weights, write_weights=weights * writes)

@@ -1,0 +1,55 @@
+"""Discrete simulation substrate: units, clocks, RNG streams, event loop.
+
+This package provides the low-level scaffolding every other subsystem is
+built on.  Nothing here knows about memory tiering; it is generic
+discrete-event machinery with cycle-denominated time.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.config import (
+    MachineConfig,
+    SimulationConfig,
+    TierConfig,
+    paper_machine_config,
+)
+from repro.sim.events import Event, EventLoop
+from repro.sim.rng import RngStreams
+from repro.sim.units import (
+    CYCLES_PER_NS,
+    GiB,
+    KiB,
+    MiB,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    HUGE_PAGE_SIZE,
+    BASE_PAGES_PER_HUGE_PAGE,
+    cycles_to_ns,
+    cycles_to_seconds,
+    ns_to_cycles,
+    pages_for_bytes,
+    seconds_to_cycles,
+)
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventLoop",
+    "RngStreams",
+    "MachineConfig",
+    "SimulationConfig",
+    "TierConfig",
+    "paper_machine_config",
+    "CYCLES_PER_NS",
+    "KiB",
+    "MiB",
+    "GiB",
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "HUGE_PAGE_SIZE",
+    "BASE_PAGES_PER_HUGE_PAGE",
+    "ns_to_cycles",
+    "cycles_to_ns",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "pages_for_bytes",
+]

@@ -1,0 +1,51 @@
+"""Cycle-denominated simulation clock."""
+
+from __future__ import annotations
+
+from repro.sim.units import cycles_to_seconds, seconds_to_cycles
+
+
+class Clock:
+    """Monotonic cycle counter for the simulated machine.
+
+    The clock only moves forward; components ``advance`` it by the cost of
+    the work they model.  Helpers expose the time in seconds for
+    epoch-level bookkeeping (FTHR sampling windows, workload start times).
+    """
+
+    __slots__ = ("_cycles",)
+
+    def __init__(self, start_cycles: int = 0) -> None:
+        if start_cycles < 0:
+            raise ValueError("clock cannot start in the past")
+        self._cycles = int(start_cycles)
+
+    @property
+    def cycles(self) -> int:
+        """Current simulated time in cycles."""
+        return self._cycles
+
+    @property
+    def seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return cycles_to_seconds(self._cycles)
+
+    def advance(self, cycles: int) -> int:
+        """Move time forward by ``cycles`` and return the new time."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by negative cycles: {cycles}")
+        self._cycles += int(cycles)
+        return self._cycles
+
+    def advance_seconds(self, seconds: float) -> int:
+        """Move time forward by ``seconds`` of simulated wall-clock."""
+        return self.advance(seconds_to_cycles(seconds))
+
+    def advance_to(self, cycles: int) -> int:
+        """Jump forward to an absolute cycle count (no-op if in the past)."""
+        if cycles > self._cycles:
+            self._cycles = int(cycles)
+        return self._cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(cycles={self._cycles}, seconds={self.seconds:.6f})"

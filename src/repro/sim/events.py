@@ -1,0 +1,97 @@
+"""Minimal discrete-event loop.
+
+The co-location harness is epoch-driven, but several mechanisms are most
+naturally expressed as events with completion times: asynchronous page
+copies, deferred TLB flush batches, profiler sampling ticks.  This module
+provides a small, deterministic priority-queue event loop those pieces
+share.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(when, sequence)`` so same-cycle events fire in
+    scheduling order, which keeps runs deterministic.
+    """
+
+    when: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Deterministic discrete-event queue over a shared cycle clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Cycle time of the most recently dispatched event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, when: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute cycle ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule event in the past ({when} < {self._now})")
+        ev = Event(when=int(when), seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def run_until(self, cycle: int) -> int:
+        """Dispatch every event scheduled at or before ``cycle``.
+
+        Returns the number of events dispatched.  The loop's ``now``
+        advances to each event's time, then to ``cycle``.
+        """
+        dispatched = 0
+        while self._heap and self._heap[0].when <= cycle:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.when
+            ev.callback(*ev.args)
+            dispatched += 1
+        if cycle > self._now:
+            self._now = cycle
+        return dispatched
+
+    def run_all(self, limit: int = 1_000_000) -> int:
+        """Drain the queue entirely (bounded by ``limit`` dispatches)."""
+        dispatched = 0
+        while self._heap and dispatched < limit:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.when
+            ev.callback(*ev.args)
+            dispatched += 1
+        if self._heap and dispatched >= limit:
+            raise RuntimeError(f"event loop exceeded {limit} dispatches; runaway feedback?")
+        return dispatched

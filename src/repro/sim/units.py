@@ -1,0 +1,53 @@
+"""Size and time units shared across the simulator.
+
+All simulator time is denominated in *CPU cycles* of the modeled machine.
+The paper's testbed runs Xeon Platinum 8378A cores at 3.0 GHz, so we fix
+3 cycles per nanosecond; every latency in the paper (70 ns fast tier,
+162 ns slow tier, ...) converts through this constant.
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Base page size, matching x86-64 4 KiB pages.
+PAGE_SIZE: int = 4 * KiB
+PAGE_SHIFT: int = 12
+
+#: Transparent huge page size (x86-64 2 MiB) and the split factor used when
+#: Vulcan/Memtis split a huge page into base pages on promotion.
+HUGE_PAGE_SIZE: int = 2 * MiB
+BASE_PAGES_PER_HUGE_PAGE: int = HUGE_PAGE_SIZE // PAGE_SIZE  # 512
+
+#: Modeled core frequency: 3.0 GHz => 3 cycles per nanosecond.
+CPU_FREQ_GHZ: float = 3.0
+CYCLES_PER_NS: float = CPU_FREQ_GHZ
+
+
+def ns_to_cycles(ns: float) -> int:
+    """Convert nanoseconds to (integer) cycles at the modeled frequency."""
+    return int(round(ns * CYCLES_PER_NS))
+
+
+def cycles_to_ns(cycles: float) -> float:
+    """Convert cycles to nanoseconds at the modeled frequency."""
+    return cycles / CYCLES_PER_NS
+
+
+def seconds_to_cycles(seconds: float) -> int:
+    """Convert seconds of simulated wall-clock to cycles."""
+    return int(round(seconds * 1e9 * CYCLES_PER_NS))
+
+
+def cycles_to_seconds(cycles: float) -> float:
+    """Convert cycles to seconds of simulated wall-clock."""
+    return cycles / (1e9 * CYCLES_PER_NS)
+
+
+def pages_for_bytes(nbytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages needed to back ``nbytes`` (ceiling division)."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    return -(-nbytes // page_size)

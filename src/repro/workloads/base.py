@@ -1,0 +1,116 @@
+"""Workload interface for the epoch-driven harness.
+
+A workload owns a virtual region (its RSS) inside a process the harness
+creates, and produces per-thread access batches each epoch.  Per-thread
+generation matters: Vulcan's page classification distinguishes *which*
+threads touch a page, so generators partition or share their working
+sets across threads explicitly.
+
+The issue model separates *intent* from *achievement*: a workload asks
+to issue ``issue_rate(epoch)`` × budget accesses; the harness converts
+achieved memory latency into achieved throughput (the performance
+metric).  ``issue_rate`` < 1 models LC burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classify import ServiceClass
+from repro.mm.address_space import Vma
+from repro.profiling.base import AccessBatch
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description the harness uses to set a workload up."""
+
+    name: str
+    service: ServiceClass
+    rss_pages: int
+    n_threads: int = 8
+    start_epoch: int = 0
+    #: requested accesses per thread per epoch at issue_rate = 1
+    accesses_per_thread: int = 20_000
+    #: tier the RSS is faulted into at admission (0 = fast-first with
+    #: fallback, Linux default; 1 = slow, as in the Nomad microbenchmark
+    #: that "allocates data to specific segments of the tiered memory")
+    populate_tier: int = 0
+
+
+class Workload:
+    """Base class; subclasses implement :meth:`_thread_vpns`."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.pid: int | None = None
+        self.vma: Vma | None = None
+        self._rng = np.random.default_rng(seed)
+
+    # -- harness binding -----------------------------------------------------
+
+    def bind(self, pid: int, vma: Vma) -> None:
+        """Called once by the harness after the VMA is created."""
+        self.pid = pid
+        self.vma = vma
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Subclass hook (e.g. build index structures over the VMA)."""
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def service(self) -> ServiceClass:
+        return self.spec.service
+
+    # -- per-epoch generation ---------------------------------------------------
+
+    def issue_rate(self, epoch: int) -> float:
+        """Fraction of the access budget the workload tries to use this
+        epoch (1.0 = saturating).  Default: saturating (BE behaviour)."""
+        return 1.0
+
+    def generate(self, epoch: int) -> list[AccessBatch]:
+        """Produce one access batch per thread for this epoch."""
+        if self.pid is None or self.vma is None:
+            raise RuntimeError(f"workload {self.name!r} not bound to a process")
+        batches: list[AccessBatch] = []
+        n = int(self.spec.accesses_per_thread * self.issue_rate(epoch))
+        for tid in range(self.spec.n_threads):
+            if n <= 0:
+                vpns = np.empty(0, dtype=np.int64)
+                writes = np.empty(0, dtype=bool)
+            else:
+                vpns, writes = self._thread_access(tid, n, epoch)
+            batches.append(AccessBatch(pid=self.pid, tid=tid, vpns=vpns, is_write=writes))
+        return batches
+
+    def _thread_access(self, tid: int, n: int, epoch: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (vpns, is_write) for one thread's epoch traffic."""
+        raise NotImplementedError
+
+    def first_touch_tid(self, offset: int) -> int:
+        """Which thread demand-faults page ``offset`` of the VMA in.
+
+        First touch sets PTE ownership (§3.4), so this must reflect the
+        application's real initialization pattern: data-parallel apps
+        fault their own shards in; shared structures are touched by
+        whichever thread gets there first (modeled round-robin).
+        """
+        return offset % self.spec.n_threads
+
+    # -- metadata the harness/policies may query ---------------------------------
+
+    def write_fraction(self) -> float:
+        """Nominal overall write fraction (for documentation/tests)."""
+        return 0.0
+
+    def wss_pages(self) -> int:
+        """Nominal working-set size in pages (defaults to RSS)."""
+        return self.spec.rss_pages

@@ -1,0 +1,160 @@
+"""YCSB-style key-value workload family.
+
+The paper drives Memcached with YCSB-C; this module generalizes the KV
+generator to the standard YCSB core workloads so co-location studies
+can vary the read/write/scan composition:
+
+========  =======================  ==========================
+workload  operation mix            distribution
+========  =======================  ==========================
+A         50% read / 50% update    zipfian
+B         95% read / 5% update     zipfian
+C         100% read                zipfian
+D         95% read / 5% insert     latest (recency-skewed)
+E         95% scan / 5% insert     zipfian (scan length 1-16)
+F         50% read / 50% RMW       zipfian
+========  =======================  ==========================
+
+Operations map to page accesses: read = 1 read; update = 1 write;
+insert = 1 write at the growing tail ("latest" keys); scan = a short
+sequential run of reads; read-modify-write = 1 read + 1 write to the
+same page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classify import ServiceClass
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class YcsbMix:
+    """Operation proportions (must sum to 1)."""
+
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    latest: bool = False  # recency-skewed key choice (workload D)
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix must sum to 1, got {total}")
+
+
+YCSB_MIXES: dict[str, YcsbMix] = {
+    "A": YcsbMix(read=0.5, update=0.5),
+    "B": YcsbMix(read=0.95, update=0.05),
+    "C": YcsbMix(read=1.0),
+    "D": YcsbMix(read=0.95, insert=0.05, latest=True),
+    "E": YcsbMix(scan=0.95, insert=0.05),
+    "F": YcsbMix(read=0.5, rmw=0.5),
+}
+
+MAX_SCAN_LEN = 16
+
+
+class YcsbWorkload(Workload):
+    """A KV store under one of the YCSB core mixes."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec | None = None,
+        seed: int = 0,
+        *,
+        mix: str = "C",
+        zipf_skew: float = 0.99,
+    ) -> None:
+        if spec is None:
+            spec = WorkloadSpec(name=f"ycsb-{mix.lower()}", service=ServiceClass.LC, rss_pages=4096)
+        super().__init__(spec, seed)
+        key = mix.upper()
+        if key not in YCSB_MIXES:
+            raise ValueError(f"unknown YCSB workload {mix!r}; pick from {sorted(YCSB_MIXES)}")
+        self.mix_name = key
+        self.mix = YCSB_MIXES[key]
+        self.zipf_skew = zipf_skew
+        self._sampler: ZipfSampler | None = None
+
+    def _on_bind(self) -> None:
+        self._sampler = ZipfSampler(
+            self.spec.rss_pages, self.zipf_skew, permute=not self.mix.latest,
+            rng=np.random.default_rng(self.seed),
+        )
+
+    def _keys(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        assert self._sampler is not None
+        ranks = self._sampler.sample(n, rng)
+        if self.mix.latest:
+            # "latest": rank 0 is the most recently inserted key —
+            # map ranks onto the tail of the key space.
+            return (self.spec.rss_pages - 1 - ranks).astype(np.int64)
+        return ranks
+
+    def _thread_access(self, tid: int, n: int, epoch: int) -> tuple[np.ndarray, np.ndarray]:
+        assert self.vma is not None
+        rng = np.random.default_rng((self.seed, epoch, tid, 41))
+        m = self.mix
+        ops = rng.choice(
+            5, size=n, p=[m.read, m.update, m.insert, m.scan, m.rmw]
+        )
+        vpn_chunks: list[np.ndarray] = []
+        write_chunks: list[np.ndarray] = []
+
+        n_read = int((ops == 0).sum())
+        if n_read:
+            vpn_chunks.append(self._keys(n_read, rng))
+            write_chunks.append(np.zeros(n_read, dtype=bool))
+
+        n_update = int((ops == 1).sum())
+        if n_update:
+            vpn_chunks.append(self._keys(n_update, rng))
+            write_chunks.append(np.ones(n_update, dtype=bool))
+
+        n_insert = int((ops == 2).sum())
+        if n_insert:
+            # Inserts append at the key-space tail.
+            tail = self.spec.rss_pages - 1 - rng.integers(0, max(self.spec.rss_pages // 50, 1), size=n_insert)
+            vpn_chunks.append(tail.astype(np.int64))
+            write_chunks.append(np.ones(n_insert, dtype=bool))
+
+        n_scan = int((ops == 3).sum())
+        if n_scan:
+            starts = self._keys(n_scan, rng)
+            lengths = rng.integers(1, MAX_SCAN_LEN + 1, size=n_scan)
+            runs = [
+                np.arange(s, min(s + l, self.spec.rss_pages), dtype=np.int64)
+                for s, l in zip(starts.tolist(), lengths.tolist())
+            ]
+            scan_vpns = np.concatenate(runs) if runs else np.empty(0, dtype=np.int64)
+            vpn_chunks.append(scan_vpns)
+            write_chunks.append(np.zeros(scan_vpns.size, dtype=bool))
+
+        n_rmw = int((ops == 4).sum())
+        if n_rmw:
+            keys = self._keys(n_rmw, rng)
+            vpn_chunks.append(np.repeat(keys, 2))
+            write_chunks.append(np.tile([False, True], n_rmw))
+
+        vpns = self.vma.start_vpn + np.concatenate(vpn_chunks)
+        writes = np.concatenate(write_chunks)
+        return vpns, writes
+
+    def write_fraction(self) -> float:
+        m = self.mix
+        # rmw contributes one read + one write per op; scans average
+        # (1 + MAX_SCAN_LEN)/2 reads per op.
+        scan_reads = m.scan * (1 + MAX_SCAN_LEN) / 2.0
+        writes = m.update + m.insert + m.rmw
+        total = m.read + m.update + m.insert + scan_reads + 2 * m.rmw
+        return writes / total
+
+    def wss_pages(self) -> int:
+        return max(int(self.spec.rss_pages * 0.2), 1)

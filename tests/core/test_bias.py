@@ -1,0 +1,112 @@
+"""Biased migration policy: candidate selection and Table 1 dispatch."""
+
+import numpy as np
+
+from repro.core.bias import BiasedMigrationPolicy
+from repro.core.classify import PageClass
+from repro.mm.frame_alloc import FrameAllocator
+from repro.mm.shadow import ShadowTracker
+from repro.profiling.base import AccessBatch
+from repro.profiling.pebs import PebsProfiler
+from tests.conftest import populated_space
+
+
+def setup(fast=4, slow=64, n_pages=12, n_threads=2):
+    alloc = FrameAllocator(fast_frames=fast, slow_frames=slow)
+    space = populated_space(alloc, n_pages=n_pages, n_threads=n_threads)
+    prof = PebsProfiler(period=1)  # exact counting for determinism
+    policy = BiasedMigrationPolicy(hot_threshold=4.0)
+    return alloc, space, prof, policy
+
+
+def feed(prof, space, vpn, n, write=False, tid=None):
+    owner_tid = tid if tid is not None else 0
+    batch = AccessBatch(
+        pid=space.process.pid,
+        tid=owner_tid,
+        vpns=np.full(n, vpn, dtype=np.int64),
+        is_write=np.full(n, write, dtype=bool),
+    )
+    prof.observe(batch)
+    space.process.repl.note_access(vpn, owner_tid)
+
+
+def test_only_hot_slow_pages_become_candidates():
+    alloc, space, prof, policy = setup()
+    vma = space.process.vmas[0]
+    slow_vpn = vma.start_vpn + 6  # beyond the 4 fast frames
+    fast_vpn = vma.start_vpn + 0
+    cold_vpn = vma.start_vpn + 7
+    feed(prof, space, slow_vpn, 20)
+    feed(prof, space, fast_vpn, 20)
+    feed(prof, space, cold_vpn, 1)
+    n = policy.refresh_candidates(space.process.pid, prof, space.process.repl, alloc)
+    assert n == 1
+    picks = policy.select_promotions(space.process.pid, 10, prof)
+    assert [p.vpn for p in picks] == [slow_vpn]
+    assert picks[0].dest_tier == 0
+
+
+def test_read_intensive_goes_async_write_intensive_sync():
+    alloc, space, prof, policy = setup()
+    vma = space.process.vmas[0]
+    rd, wr = vma.start_vpn + 6, vma.start_vpn + 7
+    feed(prof, space, rd, 20, write=False, tid=0)
+    feed(prof, space, wr, 20, write=True, tid=1)
+    policy.refresh_candidates(space.process.pid, prof, space.process.repl, alloc)
+    picks = {p.vpn: p for p in policy.select_promotions(space.process.pid, 10, prof)}
+    assert picks[rd].sync is False
+    assert picks[rd].page_class is PageClass.PRIVATE_READ
+    assert picks[wr].sync is True
+    assert picks[wr].page_class is PageClass.PRIVATE_WRITE
+
+
+def test_private_read_served_before_shared_write():
+    alloc, space, prof, policy = setup()
+    vma = space.process.vmas[0]
+    pr, sw = vma.start_vpn + 6, vma.start_vpn + 7
+    feed(prof, space, pr, 10, write=False, tid=0)
+    feed(prof, space, sw, 10, write=True, tid=0)
+    feed(prof, space, sw, 10, write=True, tid=1)  # second thread → shared
+    policy.refresh_candidates(space.process.pid, prof, space.process.repl, alloc)
+    picks = policy.select_promotions(space.process.pid, 1, prof)
+    assert picks[0].vpn == pr
+
+
+def test_demotion_selects_coldest_fast_pages():
+    alloc, space, prof, policy = setup(fast=4)
+    vma = space.process.vmas[0]
+    # Pages 0..3 are fast; heat them unevenly.
+    for i, count in enumerate([50, 2, 40, 1]):
+        feed(prof, space, vma.start_vpn + i, count, tid=i % 2)
+    demos = policy.select_demotions(space.process.pid, 2, prof, space.process.repl, alloc)
+    assert sorted(p.vpn for p in demos) == [vma.start_vpn + 1, vma.start_vpn + 3]
+    assert all(p.dest_tier == 1 for p in demos)
+
+
+def test_demotion_prefers_shadowed_clean_pages_at_similar_heat():
+    alloc, space, prof, policy = setup(fast=4)
+    vma = space.process.vmas[0]
+    shadow = ShadowTracker()
+    # Four equally-warm fast pages; one has a retained shadow.
+    for i in range(4):
+        feed(prof, space, vma.start_vpn + i, 10, tid=i % 2)
+    pfn0 = space.translate(vma.start_vpn + 0)
+    shadow.retain(fast_pfn=pfn0, shadow_pfn=999)
+    demos = policy.select_demotions(space.process.pid, 1, prof, space.process.repl, alloc, shadow=shadow)
+    assert demos[0].vpn == vma.start_vpn + 0
+
+
+def test_budget_zero_returns_nothing():
+    alloc, space, prof, policy = setup()
+    assert policy.select_promotions(space.process.pid, 0, prof) == []
+    assert policy.select_demotions(space.process.pid, 0, prof, space.process.repl, alloc) == []
+
+
+def test_forget_clears_queues():
+    alloc, space, prof, policy = setup()
+    vma = space.process.vmas[0]
+    feed(prof, space, vma.start_vpn + 6, 20)
+    policy.refresh_candidates(space.process.pid, prof, space.process.repl, alloc)
+    policy.forget(space.process.pid)
+    assert policy.select_promotions(space.process.pid, 10, prof) == []

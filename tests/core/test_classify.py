@@ -1,0 +1,75 @@
+"""Service-class and page-class (Table 1) classification."""
+
+import pytest
+
+from repro.core.classify import (
+    WRITE_INTENSIVE_THRESHOLD,
+    PageClass,
+    ServiceClass,
+    WorkloadSignals,
+    classify_page,
+    classify_service,
+)
+
+
+class TestPageClass:
+    def test_table1_matrix(self):
+        assert classify_page(private=True, write_fraction=0.0) is PageClass.PRIVATE_READ
+        assert classify_page(private=False, write_fraction=0.0) is PageClass.SHARED_READ
+        assert classify_page(private=True, write_fraction=0.9) is PageClass.PRIVATE_WRITE
+        assert classify_page(private=False, write_fraction=0.9) is PageClass.SHARED_WRITE
+
+    def test_table1_priority_order(self):
+        """★★★★ private-read > ★★★ shared-read > ★★ private-write > ★ shared-write."""
+        assert (
+            PageClass.PRIVATE_READ
+            > PageClass.SHARED_READ
+            > PageClass.PRIVATE_WRITE
+            > PageClass.SHARED_WRITE
+        )
+
+    def test_table1_strategy_column(self):
+        assert PageClass.PRIVATE_READ.use_async_copy
+        assert PageClass.SHARED_READ.use_async_copy
+        assert not PageClass.PRIVATE_WRITE.use_async_copy
+        assert not PageClass.SHARED_WRITE.use_async_copy
+
+    def test_ownership_and_intensity_helpers(self):
+        assert PageClass.PRIVATE_WRITE.is_private
+        assert not PageClass.SHARED_READ.is_private
+        assert PageClass.SHARED_WRITE.is_write_intensive
+        assert not PageClass.PRIVATE_READ.is_write_intensive
+
+    def test_threshold_boundary(self):
+        just_below = WRITE_INTENSIVE_THRESHOLD - 1e-9
+        assert classify_page(private=True, write_fraction=just_below) is PageClass.PRIVATE_READ
+        assert classify_page(private=True, write_fraction=WRITE_INTENSIVE_THRESHOLD) is PageClass.PRIVATE_WRITE
+
+    def test_custom_threshold(self):
+        assert classify_page(private=True, write_fraction=0.3, threshold=0.5) is PageClass.PRIVATE_READ
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            classify_page(private=True, write_fraction=1.5)
+
+
+class TestServiceClass:
+    def test_declared_wins(self):
+        s = WorkloadSignals(mean_utilization=1.0, burstiness=0.0, declared=ServiceClass.LC)
+        assert classify_service(s) is ServiceClass.LC
+
+    def test_saturating_steady_is_be(self):
+        s = WorkloadSignals(mean_utilization=0.95, burstiness=0.1)
+        assert classify_service(s) is ServiceClass.BE
+
+    def test_bursty_is_lc(self):
+        s = WorkloadSignals(mean_utilization=0.9, burstiness=0.8)
+        assert classify_service(s) is ServiceClass.LC
+
+    def test_low_utilization_is_lc(self):
+        s = WorkloadSignals(mean_utilization=0.3, burstiness=0.1)
+        assert classify_service(s) is ServiceClass.LC
+
+    def test_conservative_default(self):
+        """Unknown-looking workloads classify LC (the safe direction)."""
+        assert classify_service(WorkloadSignals()) is ServiceClass.LC

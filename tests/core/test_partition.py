@@ -1,0 +1,80 @@
+"""Fast-tier partition ledger."""
+
+import pytest
+
+from repro.core.partition import PartitionLedger
+
+
+def make() -> PartitionLedger:
+    led = PartitionLedger(capacity_pages=100)
+    led.register(1, quota_pages=40)
+    led.register(2, quota_pages=60)
+    return led
+
+
+def test_headroom_and_overage():
+    led = make()
+    led.set_usage(1, 25)
+    assert led.headroom(1) == 15
+    assert led.overage(1) == 0
+    led.set_usage(1, 55)
+    assert led.headroom(1) == 0
+    assert led.overage(1) == 15
+
+
+def test_set_quotas_replaces():
+    led = make()
+    led.set_quotas({1: 70, 2: 30})
+    assert led.quotas == {1: 70, 2: 30}
+
+
+def test_quota_sum_capped():
+    led = make()
+    with pytest.raises(ValueError):
+        led.set_quotas({1: 70, 2: 40})
+
+
+def test_unknown_pid_quota_rejected():
+    led = make()
+    with pytest.raises(KeyError):
+        led.set_quotas({9: 10})
+
+
+def test_negative_values_rejected():
+    led = make()
+    with pytest.raises(ValueError):
+        led.set_quotas({1: -1, 2: 0})
+    with pytest.raises(ValueError):
+        led.set_usage(1, -1)
+    led.set_usage(1, 3)
+    with pytest.raises(ValueError):
+        led.add_usage(1, -5)
+
+
+def test_add_usage_delta():
+    led = make()
+    led.add_usage(1, 5)
+    led.add_usage(1, 2)
+    assert led.usage[1] == 7
+
+
+def test_utilization():
+    led = make()
+    led.set_usage(1, 30)
+    led.set_usage(2, 20)
+    assert led.total_usage() == 50
+    assert led.utilization() == pytest.approx(0.5)
+
+
+def test_register_unregister():
+    led = make()
+    with pytest.raises(ValueError):
+        led.register(1)
+    led.unregister(1)
+    assert 1 not in led.quotas and 1 not in led.usage
+    led.unregister(99)  # idempotent
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        PartitionLedger(capacity_pages=0)

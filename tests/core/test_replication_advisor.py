@@ -1,0 +1,75 @@
+"""Auto enable/disable advisor for per-thread page tables (§3.6)."""
+
+import pytest
+
+from repro.core.replication_advisor import ReplicationAdvisor
+from repro.sim.units import PAGE_SIZE
+
+
+def test_private_heavy_migration_says_enable():
+    adv = ReplicationAdvisor()
+    # 500 migrations/epoch of fully-private pages on 8 threads: 7 IPI
+    # targets saved per page; trivial link/memory costs.
+    adv.note_epoch(1, migrations=500, avg_sharers=1.0, n_threads=8,
+                   new_leaf_links=10, replica_upper_pages=24)
+    advice = adv.advise(1)
+    assert advice.enable
+    assert advice.net_cycles_per_epoch > 0
+
+
+def test_faas_shape_says_disable():
+    """Many threads, tiny footprint, churning leaf links, almost no
+    migration — the paper's problematic FaaS case."""
+    adv = ReplicationAdvisor()
+    for _ in range(4):
+        adv.note_epoch(1, migrations=2, avg_sharers=6.0, n_threads=8,
+                       new_leaf_links=5_000, replica_upper_pages=400)
+    advice = adv.advise(1)
+    assert not advice.enable
+    assert advice.cost_cycles_per_epoch > advice.benefit_cycles_per_epoch
+
+
+def test_fully_shared_traffic_has_no_benefit():
+    adv = ReplicationAdvisor()
+    adv.note_epoch(1, migrations=500, avg_sharers=8.0, n_threads=8,
+                   new_leaf_links=100, replica_upper_pages=24)
+    assert adv.advise(1).benefit_cycles_per_epoch == 0.0
+
+
+def test_hysteresis_resists_flapping():
+    adv = ReplicationAdvisor(hysteresis=2.0)
+    # Benefit just barely above cost: stays enabled (default on)...
+    adv.note_epoch(1, migrations=10, avg_sharers=7.0, n_threads=8,
+                   new_leaf_links=14, replica_upper_pages=0)
+    first = adv.advise(1)
+    # ...but from the disabled state the same evidence would not re-enable.
+    adv2 = ReplicationAdvisor(hysteresis=2.0)
+    adv2._current[1] = False
+    adv2.note_epoch(1, migrations=10, avg_sharers=7.0, n_threads=8,
+                    new_leaf_links=14, replica_upper_pages=0)
+    second = adv2.advise(1)
+    assert first.enable and not second.enable
+
+
+def test_memory_accounting():
+    adv = ReplicationAdvisor()
+    adv.note_epoch(1, migrations=0, avg_sharers=1.0, n_threads=2,
+                   new_leaf_links=0, replica_upper_pages=6)
+    assert adv.replica_memory_bytes(1) == 6 * PAGE_SIZE
+
+
+def test_forget():
+    adv = ReplicationAdvisor()
+    adv.note_epoch(1, migrations=5, avg_sharers=1.0, n_threads=2,
+                   new_leaf_links=1, replica_upper_pages=3)
+    adv.forget(1)
+    assert adv.replica_memory_bytes(1) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReplicationAdvisor(hysteresis=0.5)
+    adv = ReplicationAdvisor()
+    with pytest.raises(ValueError):
+        adv.note_epoch(1, migrations=-1, avg_sharers=1.0, n_threads=2,
+                       new_leaf_links=0, replica_upper_pages=0)

@@ -1,0 +1,93 @@
+"""Admission control and rolling service classification."""
+
+import pytest
+
+from repro.core.classify import ServiceClass
+from repro.core.whitelist import NotWhitelistedError, ServiceClassifier, Whitelist
+
+
+class TestWhitelist:
+    def test_default_deny(self):
+        wl = Whitelist()
+        assert not wl.is_allowed("memcached")
+        with pytest.raises(NotWhitelistedError):
+            wl.check("memcached")
+        assert wl.denied_attempts == ["memcached"]
+
+    def test_allow_and_revoke(self):
+        wl = Whitelist()
+        wl.allow("memcached")
+        wl.check("memcached")  # no raise
+        wl.revoke("memcached")
+        with pytest.raises(NotWhitelistedError):
+            wl.check("memcached")
+
+    def test_default_allow_audits_only(self):
+        wl = Whitelist(default_allow=True)
+        wl.check("anything")
+        assert wl.denied_attempts == []
+
+
+class TestServiceClassifier:
+    def test_conservative_until_window_fills(self):
+        c = ServiceClassifier(min_window=4)
+        c.register(1)
+        for _ in range(3):
+            assert c.observe(1, 1.0) is ServiceClass.LC
+        # Fourth steady-full observation flips it to BE.
+        assert c.observe(1, 1.0) is ServiceClass.BE
+        assert c.reclassifications == 1
+
+    def test_bursty_stays_lc(self):
+        c = ServiceClassifier(min_window=4)
+        c.register(1)
+        for u in (1.0, 0.1, 1.0, 0.1, 1.0, 0.1):
+            out = c.observe(1, u)
+        assert out is ServiceClass.LC
+
+    def test_declared_never_overridden(self):
+        c = ServiceClassifier(min_window=2)
+        c.register(1, declared=ServiceClass.LC)
+        for _ in range(8):
+            assert c.observe(1, 1.0) is ServiceClass.LC
+        assert c.reclassifications == 0
+
+    def test_phase_change_reclassifies(self):
+        c = ServiceClassifier(min_window=4)
+        c.register(1)
+        for _ in range(16):
+            c.observe(1, 1.0)
+        assert c.service_of(1) is ServiceClass.BE
+        for _ in range(16):
+            c.observe(1, 0.2)
+        assert c.service_of(1) is ServiceClass.LC
+        assert c.reclassifications >= 2
+
+    def test_utilization_clipped(self):
+        c = ServiceClassifier(min_window=1)
+        c.register(1)
+        c.observe(1, 5.0)  # clipped to 1.0, no crash
+        assert c.service_of(1) in (ServiceClass.LC, ServiceClass.BE)
+
+    def test_unknown_pid_rejected(self):
+        c = ServiceClassifier()
+        with pytest.raises(KeyError):
+            c.observe(9, 0.5)
+        with pytest.raises(KeyError):
+            c.service_of(9)
+
+    def test_duplicate_register_rejected(self):
+        c = ServiceClassifier()
+        c.register(1)
+        with pytest.raises(ValueError):
+            c.register(1)
+
+    def test_unregister_idempotent(self):
+        c = ServiceClassifier()
+        c.register(1)
+        c.unregister(1)
+        c.unregister(1)
+
+    def test_min_window_validation(self):
+        with pytest.raises(ValueError):
+            ServiceClassifier(min_window=0)

@@ -1,0 +1,71 @@
+"""CSV/JSON result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.classify import ServiceClass
+from repro.harness import ColocationExperiment
+from repro.harness.export import to_json, to_rows, write_csv, write_json
+from repro.sim.config import MachineConfig, SimulationConfig, TierConfig
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.memcached import MemcachedWorkload
+
+UNIT = 10**6
+
+
+@pytest.fixture(scope="module")
+def result():
+    mc = MachineConfig(
+        n_cores=8,
+        fast=TierConfig(name="fast", capacity_bytes=64 * UNIT, load_latency_ns=70.0, bandwidth_gbps=205.0),
+        slow=TierConfig(name="slow", capacity_bytes=512 * UNIT, load_latency_ns=162.0, bandwidth_gbps=25.0),
+    )
+    sim = SimulationConfig(page_unit_bytes=UNIT, epoch_seconds=0.5)
+    wls = [
+        MemcachedWorkload(
+            WorkloadSpec(name=n, service=ServiceClass.LC, rss_pages=100, n_threads=2,
+                         start_epoch=s, accesses_per_thread=1500),
+            seed=i,
+        )
+        for i, (n, s) in enumerate([("a", 0), ("b", 2)])
+    ]
+    exp = ColocationExperiment("memtis", wls, machine_config=mc, sim=sim, seed=1, cores_per_workload=4)
+    return exp.run(4)
+
+
+def test_to_rows_shape(result):
+    rows = to_rows(result)
+    assert len(rows) == 4 + 2  # a: 4 epochs, b: 2 epochs
+    for row in rows:
+        assert row["policy"] == "memtis"
+        assert row["workload"] in ("a", "b")
+        assert "fthr_true" in row and 0.0 <= row["fthr_true"] <= 1.0
+
+
+def test_write_csv_roundtrip(result, tmp_path):
+    path = tmp_path / "out.csv"
+    n = write_csv(result, path)
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == n == 6
+    assert {r["workload"] for r in rows} == {"a", "b"}
+    # Epochs of the latecomer start at its admission.
+    b_epochs = sorted(int(r["epoch"]) for r in rows if r["workload"] == "b")
+    assert b_epochs == [2, 3]
+
+
+def test_json_roundtrip(result, tmp_path):
+    blob = to_json(result)
+    encoded = json.dumps(blob)  # must be serializable
+    decoded = json.loads(encoded)
+    assert decoded["policy"] == "memtis"
+    assert decoded["n_epochs"] == 4
+    assert set(decoded["workloads"]) == {"a", "b"}
+    assert len(decoded["workloads"]["a"]["ops"]) == 4
+    assert len(decoded["free_fast_pages"]) == 4
+
+    path = tmp_path / "out.json"
+    write_json(result, path)
+    assert json.loads(path.read_text())["policy"] == "memtis"

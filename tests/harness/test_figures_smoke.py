@@ -1,0 +1,38 @@
+"""Smoke tests for the heavy programmatic figure entry points.
+
+Tiny budgets — these verify wiring and result shapes, not anchors
+(the benchmark suite owns the anchors).
+"""
+
+import numpy as np
+
+from repro.harness.figures import fig1_dilemma, fig9_timeline, fig10_comparison
+
+
+def test_fig1_dilemma_smoke():
+    solo, co = fig1_dilemma(epochs=3, accesses_per_thread=800)
+    assert solo.by_name("memcached").epochs == [0, 1, 2]
+    assert {ts.name for ts in co.workloads.values()} == {"memcached", "liblinear"}
+
+
+def test_fig9_timeline_smoke():
+    res = fig9_timeline(epochs=4, accesses_per_thread=800)
+    # Only Memcached has started by epoch 4 (PageRank arrives at 25).
+    assert {ts.name for ts in res.workloads.values()} == {"memcached"}
+    ts = res.by_name("memcached")
+    assert len(ts.gpt) == 4
+    assert all(g > 0 for g in ts.gpt)
+
+
+def test_fig10_comparison_smoke():
+    perf, fairness = fig10_comparison(
+        trials=1, epochs=6, accesses_per_thread=800, policies=("none", "vulcan"), steady_window=3
+    )
+    assert set(perf) == {"memcached", "pagerank", "liblinear"}
+    for name in perf:
+        assert set(perf[name]) == {"none", "vulcan"}
+    assert len(fairness["vulcan"]) == 1
+    assert 0.0 < fairness["vulcan"][0] <= 1.0
+    assert np.isfinite(perf["memcached"]["vulcan"][0])
+    # Workloads that start after the short run report NaN, not a crash.
+    assert np.isnan(perf["liblinear"]["vulcan"][0])

@@ -1,0 +1,42 @@
+"""Cross-tier link model."""
+
+import pytest
+
+from repro.machine.interconnect import Interconnect
+
+
+def test_transfer_cost_includes_latency_and_bandwidth():
+    link = Interconnect(bandwidth_gbps=25.0, added_latency_ns=90.0)
+    # 25 GB/s == 25 B/ns; 2500 bytes => 100 ns + 90 ns = 190 ns = 570 cycles
+    assert link.transfer_cost_cycles(2500) == 570
+
+
+def test_zero_bytes_costs_only_latency():
+    link = Interconnect(added_latency_ns=90.0)
+    assert link.transfer_cost_cycles(0) == 270
+
+
+def test_concurrent_streams_share_bandwidth():
+    link = Interconnect(bandwidth_gbps=10.0, added_latency_ns=0.0)
+    solo = link.transfer_cost_cycles(10_000, concurrent_streams=1)
+    shared = link.transfer_cost_cycles(10_000, concurrent_streams=4)
+    assert shared == pytest.approx(4 * solo, rel=0.01)
+
+
+def test_bytes_accounted():
+    link = Interconnect()
+    link.transfer_cost_cycles(100)
+    link.transfer_cost_cycles(200)
+    assert link.bytes_transferred == 300
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Interconnect(bandwidth_gbps=0.0)
+    with pytest.raises(ValueError):
+        Interconnect(added_latency_ns=-1.0)
+    link = Interconnect()
+    with pytest.raises(ValueError):
+        link.transfer_cost_cycles(-1)
+    with pytest.raises(ValueError):
+        link.transfer_cost_cycles(1, concurrent_streams=0)

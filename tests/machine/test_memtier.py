@@ -1,0 +1,58 @@
+"""Memory tier latency/bandwidth model."""
+
+import pytest
+
+from repro.machine.memtier import MemoryTier
+from repro.sim.config import TierConfig
+from repro.sim.units import GiB, PAGE_SIZE
+
+
+def make_tier(capacity=GiB, latency=100.0, bw=10.0, tier_id=0) -> MemoryTier:
+    return MemoryTier(TierConfig(name="t", capacity_bytes=capacity, load_latency_ns=latency, bandwidth_gbps=bw), tier_id=tier_id)
+
+
+def test_frame_count():
+    t = make_tier(capacity=GiB)
+    assert t.total_frames == GiB // PAGE_SIZE
+
+
+def test_unloaded_latency():
+    t = make_tier(latency=100.0)
+    assert t.access_latency_cycles(0.0) == pytest.approx(300.0)
+
+
+def test_loaded_latency_monotone():
+    t = make_tier()
+    lats = [t.access_latency_cycles(u) for u in (0.0, 0.3, 0.6, 0.9)]
+    assert lats == sorted(lats)
+    assert lats[-1] > lats[0]
+
+
+def test_loaded_latency_capped_at_4x():
+    t = make_tier(latency=100.0)
+    assert t.access_latency_cycles(0.999) <= 4.0 * t.load_latency_cycles
+
+
+def test_copy_cost_scales_with_bytes():
+    t = make_tier(bw=10.0)  # 10 bytes per ns
+    # 4096 bytes / 10 B/ns = 409.6 ns = ~1229 cycles
+    assert t.copy_cost_cycles(4096) == pytest.approx(1229, abs=2)
+    assert t.copy_cost_cycles(8192) == pytest.approx(2 * t.copy_cost_cycles(4096), rel=0.01)
+
+
+def test_copy_cost_negative_rejected():
+    with pytest.raises(ValueError):
+        make_tier().copy_cost_cycles(-1)
+
+
+def test_access_recording():
+    t = make_tier()
+    t.record_access(False, count=3)
+    t.record_access(True, count=2)
+    assert t.stats.reads == 3
+    assert t.stats.writes == 2
+
+
+def test_sub_page_tier_rejected():
+    with pytest.raises(ValueError):
+        make_tier(capacity=100)

@@ -1,0 +1,79 @@
+"""Structural TLB behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.machine.tlb import Tlb
+
+
+def make_tlb(entries: int = 4) -> Tlb:
+    return Tlb(entries=entries, rng=np.random.default_rng(3))
+
+
+def test_miss_then_hit():
+    t = make_tlb()
+    assert t.lookup(10) is None
+    t.insert(10, 99)
+    assert t.lookup(10) == 99
+    assert t.stats.misses == 1
+    assert t.stats.hits == 1
+
+
+def test_capacity_eviction():
+    t = make_tlb(entries=2)
+    t.insert(1, 11)
+    t.insert(2, 22)
+    t.insert(3, 33)  # evicts one of the previous two
+    assert len(t) == 2
+    assert t.stats.evictions == 1
+    assert t.contains(3)
+
+
+def test_reinsert_same_vpn_updates_without_eviction():
+    t = make_tlb(entries=2)
+    t.insert(1, 11)
+    t.insert(2, 22)
+    t.insert(1, 77)  # remap, not a new entry
+    assert len(t) == 2
+    assert t.stats.evictions == 0
+    assert t.lookup(1) == 77
+
+
+def test_invalidate():
+    t = make_tlb()
+    t.insert(5, 50)
+    assert t.invalidate(5) is True
+    assert t.invalidate(5) is False  # already gone
+    assert t.stats.invalidations == 1
+    assert t.lookup(5) is None
+
+
+def test_invalidate_many_counts_only_present():
+    t = make_tlb(entries=8)
+    for vpn in range(4):
+        t.insert(vpn, vpn * 10)
+    dropped = t.invalidate_many([0, 1, 99])
+    assert dropped == 2
+    assert t.stats.invalidations == 2
+
+
+def test_flush():
+    t = make_tlb(entries=8)
+    for vpn in range(5):
+        t.insert(vpn, vpn)
+    assert t.flush() == 5
+    assert len(t) == 0
+    assert t.stats.flushes == 1
+
+
+def test_hit_ratio():
+    t = make_tlb()
+    t.insert(1, 1)
+    t.lookup(1)
+    t.lookup(2)
+    assert t.stats.hit_ratio == pytest.approx(0.5)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tlb(entries=0)

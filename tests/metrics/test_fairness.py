@@ -1,0 +1,69 @@
+"""Jain's index and the FTHR-weighted CFI (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.fairness import cfi, jain_index
+
+
+class TestJain:
+    def test_equal_is_one(self):
+        assert jain_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_recipient_is_1_over_n(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        assert jain_index([1, 2, 3]) == pytest.approx(jain_index([100, 200, 300]))
+
+    def test_empty_and_zero_vacuously_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0, 0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1, -1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=16))
+    def test_bounds_property(self, values):
+        j = jain_index(values)
+        assert 0.0 <= j <= 1.0 + 1e-9
+        if any(v > 0 for v in values):
+            assert j >= 1.0 / len(values) - 1e-9
+
+
+class TestCfi:
+    def test_equal_effective_allocation_is_fair(self):
+        alloc = {1: np.array([10.0, 10.0]), 2: np.array([20.0, 20.0])}
+        fthr = {1: np.array([0.8, 0.8]), 2: np.array([0.4, 0.4])}
+        # X_1 = 16, X_2 = 16 → perfectly fair.
+        assert cfi(alloc, fthr) == pytest.approx(1.0)
+
+    def test_monopoly_is_unfair(self):
+        alloc = {1: np.array([100.0]), 2: np.array([0.0])}
+        fthr = {1: np.array([0.9]), 2: np.array([0.1])}
+        assert cfi(alloc, fthr) == pytest.approx(0.5)
+
+    def test_fthr_weighting_matters(self):
+        """Equal allocations with unequal hit ratios are NOT fair —
+        the efficiency adjustment is the point of Eq. 4."""
+        alloc = {1: np.array([10.0]), 2: np.array([10.0])}
+        fthr_eq = {1: np.array([0.5]), 2: np.array([0.5])}
+        fthr_sk = {1: np.array([0.9]), 2: np.array([0.1])}
+        assert cfi(alloc, fthr_eq) > cfi(alloc, fthr_sk)
+
+    def test_different_activity_spans_allowed(self):
+        alloc = {1: np.ones(10) * 4, 2: np.ones(5) * 8}
+        fthr = {1: np.ones(10), 2: np.ones(5)}
+        assert cfi(alloc, fthr) == pytest.approx(1.0)
+
+    def test_pid_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cfi({1: np.array([1.0])}, {2: np.array([1.0])})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cfi({1: np.array([1.0, 2.0])}, {1: np.array([1.0])})

@@ -1,0 +1,63 @@
+"""Request latency percentile model."""
+
+import pytest
+
+from repro.metrics.latency import LatencyProfile, LatencyTracker
+
+
+def test_all_fast_is_deterministic():
+    p = LatencyProfile(fthr=1.0, fast_cycles=210, slow_cycles=756, pages_per_request=2, base_cycles=500)
+    expected = 500 + 2 * 210
+    assert p.mean() == pytest.approx(expected)
+    assert p.percentile(0.5) == pytest.approx(expected)
+    assert p.percentile(0.99) == pytest.approx(expected)
+
+
+def test_all_slow_is_deterministic():
+    p = LatencyProfile(fthr=0.0, fast_cycles=210, slow_cycles=756, pages_per_request=2, base_cycles=0)
+    assert p.percentile(0.99) == pytest.approx(2 * 756)
+
+
+def test_tail_feels_slow_tier_before_mean_does():
+    """At 90% hit ratio the p99 already pays slow-tier latency while the
+    median does not — the LC workload's whole complaint."""
+    p = LatencyProfile(fthr=0.9, fast_cycles=210, slow_cycles=756, pages_per_request=2, base_cycles=0)
+    assert p.percentile(0.5) == pytest.approx(2 * 210)
+    assert p.percentile(0.99) >= 210 + 756
+
+
+def test_mean_interpolates():
+    p = LatencyProfile(fthr=0.5, fast_cycles=200, slow_cycles=800, pages_per_request=1, base_cycles=0)
+    assert p.mean() == pytest.approx(500)
+
+
+def test_percentile_monotone():
+    p = LatencyProfile(fthr=0.7, fast_cycles=210, slow_cycles=756, pages_per_request=4)
+    qs = [p.percentile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+    assert qs == sorted(qs)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LatencyProfile(fthr=1.5, fast_cycles=1, slow_cycles=2)
+    with pytest.raises(ValueError):
+        LatencyProfile(fthr=0.5, fast_cycles=1, slow_cycles=2, pages_per_request=0)
+    p = LatencyProfile(fthr=0.5, fast_cycles=1, slow_cycles=2)
+    with pytest.raises(ValueError):
+        p.percentile(0.0)
+
+
+class TestTracker:
+    def test_series_and_slo(self):
+        t = LatencyTracker(pages_per_request=2, base_cycles=0)
+        t.record_epoch(1.0, 210, 756)  # perfect epoch
+        t.record_epoch(0.5, 210, 756)  # degraded epoch
+        assert len(t.p99) == 2
+        assert t.p99[1] > t.p99[0]
+        slo = 2 * 210 + 1  # just above the all-fast latency
+        assert t.slo_violations(slo) == 1
+        assert t.worst_p99() == t.p99[1]
+
+    def test_worst_requires_data(self):
+        with pytest.raises(RuntimeError):
+            LatencyTracker().worst_p99()

@@ -1,0 +1,44 @@
+"""Plain-text table/series rendering."""
+
+import pytest
+
+from repro.metrics.reporting import render_series, render_table
+
+
+def test_table_alignment_and_title():
+    out = render_table(["sys", "perf"], [["tpp", 1.0], ["vulcan", 1.5]], title="Fig 10a")
+    lines = out.splitlines()
+    assert lines[0] == "Fig 10a"
+    assert "sys" in lines[1] and "perf" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "vulcan" in lines[4]
+    assert "1.500" in lines[4]
+
+
+def test_table_row_width_checked():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_table_custom_float_format():
+    out = render_table(["x"], [[3.14159]], float_fmt="{:.1f}")
+    assert "3.1" in out
+
+
+def test_series_bars_proportional():
+    out = render_series("speedup", [2, 512], [4.0, 1.0], width=40)
+    lines = out.splitlines()
+    assert lines[0] == "speedup"
+    bar_big = lines[1].count("#")
+    bar_small = lines[2].count("#")
+    assert bar_big == 40
+    assert bar_small == 10
+
+
+def test_series_empty():
+    assert "(empty)" in render_series("s", [], [])
+
+
+def test_series_length_mismatch():
+    with pytest.raises(ValueError):
+        render_series("s", [1], [])

@@ -1,0 +1,112 @@
+"""Frame allocator: tiers, fallback, watermarks, conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mm.frame_alloc import FrameAllocator, OutOfFramesError
+
+
+def make_alloc(fast=8, slow=16) -> FrameAllocator:
+    return FrameAllocator(fast_frames=fast, slow_frames=slow)
+
+
+def test_pfn_space_partitioned_by_tier():
+    a = make_alloc(fast=8, slow=16)
+    assert a.tier_of_pfn(0) == 0
+    assert a.tier_of_pfn(7) == 0
+    assert a.tier_of_pfn(8) == 1
+    assert a.tier_of_pfn(23) == 1
+    with pytest.raises(ValueError):
+        a.tier_of_pfn(24)
+    with pytest.raises(ValueError):
+        a.tier_of_pfn(-1)
+
+
+def test_allocate_from_each_tier():
+    a = make_alloc()
+    f = a.allocate(0)
+    s = a.allocate(1)
+    assert a.tier_of_pfn(f.pfn) == 0 and f.tier_id == 0
+    assert a.tier_of_pfn(s.pfn) == 1 and s.tier_id == 1
+
+
+def test_fallback_to_slow_when_fast_exhausted():
+    a = make_alloc(fast=2, slow=4)
+    a.allocate(0)
+    a.allocate(0)
+    with pytest.raises(OutOfFramesError):
+        a.allocate(0, fallback=False)
+    p = a.allocate(0, fallback=True)
+    assert p.tier_id == 1
+
+
+def test_slow_exhaustion_never_falls_back_to_fast():
+    a = make_alloc(fast=2, slow=1)
+    a.allocate(1)
+    with pytest.raises(OutOfFramesError):
+        a.allocate(1, fallback=True)
+
+
+def test_free_and_reuse():
+    a = make_alloc(fast=1, slow=1)
+    p = a.allocate(0)
+    a.free(p.pfn)
+    p2 = a.allocate(0)
+    assert p2.pfn == p.pfn
+
+
+def test_double_free_rejected():
+    a = make_alloc()
+    p = a.allocate(0)
+    a.free(p.pfn)
+    with pytest.raises(ValueError):
+        a.free(p.pfn)
+
+
+def test_free_unallocated_rejected():
+    with pytest.raises(ValueError):
+        make_alloc().free(3)
+
+
+def test_watermarks():
+    a = FrameAllocator(fast_frames=100, slow_frames=100, low_watermark_frac=0.1, high_watermark_frac=0.2)
+    tier = a.tiers[0]
+    for _ in range(95):
+        a.allocate(0)
+    assert tier.below_low_watermark()  # 5 free < 10
+    assert tier.frames_to_reclaim() == 15  # to reach 20 free
+
+
+def test_mapped_pages_iteration():
+    a = make_alloc()
+    p1 = a.allocate(0)
+    p1.attach(1, 100)
+    p2 = a.allocate(1)
+    p2.attach(1, 101)
+    a.allocate(1)  # never attached: not mapped
+    assert {p.pfn for p in a.mapped_pages()} == {p1.pfn, p2.pfn}
+    assert {p.pfn for p in a.mapped_pages(tier_id=0)} == {p1.pfn}
+
+
+def test_bad_watermark_ordering_rejected():
+    with pytest.raises(ValueError):
+        FrameAllocator(4, 4, low_watermark_frac=0.5, high_watermark_frac=0.1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 1)), max_size=60))
+def test_conservation_property(ops):
+    """Alloc/free sequences never lose or duplicate frames."""
+    a = make_alloc(fast=6, slow=6)
+    live: list[int] = []
+    for do_alloc, tier in ops:
+        if do_alloc:
+            try:
+                live.append(a.allocate(tier).pfn)
+            except OutOfFramesError:
+                pass
+        elif live:
+            a.free(live.pop())
+    assert len(set(live)) == len(live)  # no duplicate handouts
+    assert a.free_frames(0) + a.free_frames(1) + len(live) == 12

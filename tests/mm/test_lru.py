@@ -1,0 +1,111 @@
+"""Per-CPU pagevecs and the active/inactive LRU lists."""
+
+import pytest
+
+from repro.mm.lru import PAGEVEC_SIZE, LruList, LruSubsystem, PerCpuPagevec
+
+
+class TestPagevec:
+    def test_fills_then_signals_drain(self):
+        vec = PerCpuPagevec(cpu_id=0, capacity=3)
+        assert vec.add(1) is False
+        assert vec.add(2) is False
+        assert vec.add(3) is True  # full
+        assert vec.drain() == [1, 2, 3]
+        assert vec.drain() == []
+
+    def test_default_capacity_matches_linux(self):
+        assert PerCpuPagevec(cpu_id=0).capacity == PAGEVEC_SIZE == 15
+
+
+class TestLruList:
+    def test_new_pages_enter_inactive(self):
+        l = LruList()
+        l.insert(1)
+        assert 1 in l.inactive and 1 not in l.active
+
+    def test_second_touch_activates(self):
+        l = LruList()
+        l.insert(1)
+        l.mark_accessed(1)
+        assert 1 in l.active
+
+    def test_coldest_returns_inactive_cold_end(self):
+        l = LruList()
+        for pfn in (1, 2, 3):
+            l.insert(pfn)
+        assert l.coldest(2) == [1, 2]
+
+    def test_age_moves_active_to_inactive(self):
+        l = LruList()
+        for pfn in (1, 2):
+            l.insert(pfn)
+            l.mark_accessed(pfn)
+        assert l.age(1) == 1
+        assert 1 in l.inactive  # oldest active demoted first
+
+    def test_duplicate_insert_rejected(self):
+        l = LruList()
+        l.insert(1)
+        with pytest.raises(ValueError):
+            l.insert(1)
+
+    def test_remove(self):
+        l = LruList()
+        l.insert(1)
+        l.remove(1)
+        assert len(l) == 0
+        with pytest.raises(KeyError):
+            l.remove(1)
+
+
+class TestLruSubsystem:
+    def test_pages_stuck_in_pagevec_until_drain(self):
+        sub = LruSubsystem(n_cpus=2)
+        sub.add_page(pfn=1, tier_id=0, cpu_id=0)
+        assert not sub.is_isolatable(1, 0)
+        sub.drain([0])
+        assert sub.is_isolatable(1, 0)
+
+    def test_full_pagevec_autodrains(self):
+        sub = LruSubsystem(n_cpus=1)
+        for pfn in range(PAGEVEC_SIZE):
+            sub.add_page(pfn, tier_id=0, cpu_id=0)
+        assert sub.is_isolatable(0, 0)  # vec filled and flushed itself
+
+    def test_global_drain_covers_all_cpus(self):
+        sub = LruSubsystem(n_cpus=4)
+        for cpu in range(4):
+            sub.add_page(100 + cpu, tier_id=1, cpu_id=cpu)
+        flushed = sub.drain(None)
+        assert flushed == 4
+        assert sub.drain_all_calls == 1
+        for cpu in range(4):
+            assert sub.is_isolatable(100 + cpu, 1)
+
+    def test_scoped_drain_leaves_other_cpus_buffered(self):
+        sub = LruSubsystem(n_cpus=4)
+        sub.add_page(1, tier_id=0, cpu_id=0)
+        sub.add_page(2, tier_id=0, cpu_id=3)
+        sub.drain([0])
+        assert sub.scoped_drain_calls == 1
+        assert sub.is_isolatable(1, 0)
+        assert not sub.is_isolatable(2, 0)
+
+    def test_tier_recorded_through_drain(self):
+        sub = LruSubsystem(n_cpus=1)
+        sub.add_page(5, tier_id=1, cpu_id=0)
+        sub.drain(None)
+        assert 5 in sub.lists[1]
+        assert 5 not in sub.lists[0]
+
+    def test_move_tier(self):
+        sub = LruSubsystem(n_cpus=1)
+        sub.add_page(5, tier_id=0, cpu_id=0)
+        sub.drain(None)
+        sub.move_tier(5, 0, 1)
+        assert 5 in sub.lists[1] and 5 not in sub.lists[0]
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            LruSubsystem(n_cpus=0)

@@ -1,0 +1,217 @@
+"""The five-phase migration engine: promotion, demotion, transactional
+copies, shadow fast paths, and optimization flags."""
+
+import numpy as np
+import pytest
+
+from repro.machine.platform import Machine
+from repro.mm import pte as P
+from repro.mm.address_space import AddressSpace
+from repro.mm.frame_alloc import FrameAllocator
+from repro.mm.lru import LruSubsystem
+from repro.mm.migration import (
+    MigrationEngine,
+    MigrationOutcome,
+    MigrationRequest,
+    OptimizationFlags,
+)
+from repro.mm.shadow import ShadowTracker
+from tests.conftest import make_process, small_machine_config
+
+
+def build(fast=8, slow=64, flags=None, shadow=False, n_threads=4, replication=True):
+    machine = Machine(small_machine_config(fast_pages=fast, slow_pages=slow), rng=np.random.default_rng(0))
+    alloc = FrameAllocator(fast_frames=fast, slow_frames=slow)
+    lru = LruSubsystem(n_cpus=machine.cpu.n_cores)
+    proc = make_process(n_threads=n_threads, replication=replication)
+    space = AddressSpace(proc, alloc)
+    core_map = {tid: tid for tid in range(n_threads)}
+    for tid, core in core_map.items():
+        machine.cpu.schedule_thread(tid, core)
+    tracker = ShadowTracker() if shadow else None
+    engine = MigrationEngine(
+        machine, alloc, space, lru,
+        flags=flags or OptimizationFlags(),
+        thread_core_map=core_map,
+        shadow=tracker,
+        rng=np.random.default_rng(1),
+    )
+    return engine, space, alloc, machine
+
+
+def fault_pages(space, n, tier):
+    vma = space.process.mmap(n)
+    for i, vpn in enumerate(range(vma.start_vpn, vma.end_vpn)):
+        space.fault(vpn, tid=i % len(space.process.tids), prefer_tier=tier)
+    return vma
+
+
+class TestBasicMoves:
+    def test_promotion_repoints_pte_and_moves_metadata(self):
+        engine, space, alloc, _ = build()
+        vma = fault_pages(space, 1, tier=1)
+        vpn = vma.start_vpn
+        old_pfn = space.translate(vpn)
+        alloc.page(old_pfn).heat = 5.0
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vpn, dest_tier=0))
+        assert out is MigrationOutcome.SUCCESS
+        new_pfn = space.translate(vpn)
+        assert alloc.tier_of_pfn(new_pfn) == 0
+        assert alloc.page(new_pfn).heat == 5.0
+        assert engine.stats.promotions == 1
+        assert engine.stats.pages_moved == 1
+        # Source frame freed (no shadowing configured).
+        assert old_pfn in alloc.tiers[1].free_list
+
+    def test_demotion(self):
+        engine, space, alloc, _ = build()
+        vma = fault_pages(space, 1, tier=0)
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=1))
+        assert out is MigrationOutcome.SUCCESS
+        assert alloc.tier_of_pfn(space.translate(vma.start_vpn)) == 1
+        assert engine.stats.demotions == 1
+
+    def test_already_on_dest_tier_is_noop_success(self):
+        engine, space, alloc, _ = build()
+        vma = fault_pages(space, 1, tier=0)
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
+        assert out is MigrationOutcome.SUCCESS
+        assert engine.stats.pages_moved == 0
+
+    def test_unmapped_page_fails(self):
+        engine, _, _, _ = build()
+        out = engine.migrate(MigrationRequest(pid=1, vpn=424242, dest_tier=0))
+        assert out is MigrationOutcome.FAILED
+        assert engine.stats.failures == 1
+
+    def test_full_destination_fails(self):
+        engine, space, alloc, _ = build(fast=1)
+        fault_pages(space, 1, tier=0)  # fast now full
+        vma = fault_pages(space, 1, tier=1)
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
+        assert out is MigrationOutcome.FAILED
+
+    def test_batch_pays_one_preparation(self):
+        engine, space, alloc, _ = build()
+        vma = fault_pages(space, 4, tier=1)
+        reqs = [MigrationRequest(pid=1, vpn=v, dest_tier=0) for v in range(vma.start_vpn, vma.end_vpn)]
+        engine.migrate_batch(reqs)
+        assert engine.lru.drain_all_calls == 1
+        assert engine.stats.migrations == 1
+        assert engine.stats.pages_moved == 4
+
+
+class TestCopyDisciplines:
+    def test_sync_copy_charges_stall(self):
+        engine, space, _, _ = build()
+        vma = fault_pages(space, 1, tier=1)
+        engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0, sync=True))
+        assert engine.stats.stall_cycles > 0
+
+    def test_transactional_clean_page_minimal_stall(self):
+        engine, space, _, _ = build()
+        vma = fault_pages(space, 1, tier=1)
+        out = engine.migrate(
+            MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0, sync=False, write_fraction=0.0)
+        )
+        assert out is MigrationOutcome.SUCCESS
+        assert engine.stats.retries == 0
+        # Only the commit shootdown stalls — far less than a sync copy.
+        sync_engine, sync_space, _, _ = build()
+        v2 = fault_pages(sync_space, 1, tier=1)
+        sync_engine.migrate(MigrationRequest(pid=1, vpn=v2.start_vpn, dest_tier=0, sync=True))
+        assert engine.stats.stall_cycles < sync_engine.stats.stall_cycles
+
+    def test_transactional_write_heavy_retries_then_falls_back(self):
+        engine, space, _, _ = build(flags=OptimizationFlags(async_retry_limit=2))
+        vma = fault_pages(space, 1, tier=1)
+        out = engine.migrate(
+            MigrationRequest(
+                pid=1, vpn=vma.start_vpn, dest_tier=0, sync=False,
+                write_fraction=1.0, access_rate_per_kcycle=100.0,
+            )
+        )
+        assert out is MigrationOutcome.FELL_BACK_SYNC
+        assert engine.stats.retries == 3  # limit + the failed final try
+        assert engine.stats.sync_fallbacks == 1
+        # Page still migrated (by the fallback).
+        assert engine.stats.pages_moved == 1
+
+    def test_dirty_probability_zero_without_writes(self):
+        engine, _, _, _ = build()
+        req = MigrationRequest(pid=1, vpn=0, dest_tier=0, write_fraction=0.0, access_rate_per_kcycle=100.0)
+        assert not engine._dirtied_during(1e9, req)
+
+
+class TestShadowing:
+    def test_promotion_retains_shadow(self):
+        engine, space, alloc, _ = build(shadow=True)
+        vma = fault_pages(space, 1, tier=1)
+        old_pfn = space.translate(vma.start_vpn)
+        engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
+        new_pfn = space.translate(vma.start_vpn)
+        assert engine.shadow.shadow_of(new_pfn) == old_pfn
+        assert old_pfn not in alloc.tiers[1].free_list  # frame retained
+        assert P.pte_decode(space.process.repl.lookup(vma.start_vpn)).shadowed
+
+    def test_clean_demotion_remaps_to_shadow(self):
+        engine, space, alloc, _ = build(shadow=True)
+        vma = fault_pages(space, 1, tier=1)
+        old_pfn = space.translate(vma.start_vpn)
+        engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
+        copies_before = engine.stats.phase_cycles["copy"]
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=1))
+        assert out is MigrationOutcome.SUCCESS
+        assert engine.stats.shadow_remaps == 1
+        # No copy was paid for the demotion.
+        assert engine.stats.phase_cycles["copy"] == copies_before
+        assert space.translate(vma.start_vpn) == old_pfn
+
+    def test_dirty_promoted_page_demotes_by_copy(self):
+        engine, space, alloc, _ = build(shadow=True)
+        vma = fault_pages(space, 1, tier=1)
+        engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
+        # Dirty the fast copy: shadow diverges.
+        repl = space.process.repl
+        repl.update(vma.start_vpn, P.pte_set_flag(repl.lookup(vma.start_vpn), P.PTE_DIRTY))
+        copies_before = engine.stats.phase_cycles["copy"]
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=1))
+        assert out is MigrationOutcome.SUCCESS
+        assert engine.stats.shadow_remaps == 0
+        assert engine.stats.phase_cycles["copy"] > copies_before
+
+
+class TestOptimizationFlags:
+    def test_opt_prep_uses_scoped_drain(self):
+        engine, space, _, _ = build(flags=OptimizationFlags(opt_prep=True, prep_scope_cpus=2))
+        vma = fault_pages(space, 1, tier=1)
+        engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
+        assert engine.lru.scoped_drain_calls == 1
+        assert engine.lru.drain_all_calls == 0
+
+    def test_opt_prep_cheaper_total(self):
+        base_engine, base_space, _, _ = build()
+        v1 = fault_pages(base_space, 1, tier=1)
+        base_engine.migrate(MigrationRequest(pid=1, vpn=v1.start_vpn, dest_tier=0))
+
+        opt_engine, opt_space, _, _ = build(flags=OptimizationFlags(opt_prep=True))
+        v2 = fault_pages(opt_space, 1, tier=1)
+        opt_engine.migrate(MigrationRequest(pid=1, vpn=v2.start_vpn, dest_tier=0))
+        assert opt_engine.stats.total_cycles < base_engine.stats.total_cycles
+
+    def test_opt_tlb_scopes_shootdown_for_private_page(self):
+        engine, space, alloc, machine = build(flags=OptimizationFlags(opt_tlb=True))
+        vma = fault_pages(space, 1, tier=1)  # owned by tid 0
+        engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
+        assert machine.cpu.ipi_stats.unicast_targets == 1
+
+        wide_engine, wide_space, _, wide_machine = build(flags=OptimizationFlags(opt_tlb=False))
+        v2 = fault_pages(wide_space, 1, tier=1)
+        wide_engine.migrate(MigrationRequest(pid=1, vpn=v2.start_vpn, dest_tier=0))
+        assert wide_machine.cpu.ipi_stats.unicast_targets == 4  # all threads
+
+    def test_opt_tlb_without_replication_falls_back_wide(self):
+        engine, space, _, machine = build(flags=OptimizationFlags(opt_tlb=True), replication=False)
+        vma = fault_pages(space, 1, tier=1)
+        engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
+        assert machine.cpu.ipi_stats.unicast_targets == 4

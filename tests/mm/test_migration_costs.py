@@ -1,0 +1,134 @@
+"""Calibration tests: the cost model must reproduce every §2.2 anchor.
+
+These are the contract between the paper's measurements and everything
+the migration engine charges.  If a constant drifts, a figure breaks —
+so each anchor is asserted here at tight tolerance.
+"""
+
+import pytest
+
+from repro.mm import migration_costs as mc
+
+MODEL = mc.MigrationCostModel()
+
+
+class TestFig2SinglePage:
+    def test_total_at_2_cpus(self):
+        assert MODEL.single_page_breakdown(2).total == pytest.approx(50_000, rel=1e-6)
+
+    def test_total_at_32_cpus(self):
+        assert MODEL.single_page_breakdown(32).total == pytest.approx(750_000, rel=1e-6)
+
+    def test_prep_share_at_2_cpus(self):
+        assert MODEL.single_page_breakdown(2).prep_share == pytest.approx(0.383, abs=1e-6)
+
+    def test_prep_share_at_32_cpus(self):
+        assert MODEL.single_page_breakdown(32).prep_share == pytest.approx(0.769, abs=1e-6)
+
+    def test_prep_grows_30x(self):
+        """Paper: 'preparation time increasing by up to 30× when scaling
+        from 2 to 32 cores'."""
+        ratio = MODEL.prep_cycles(32) / MODEL.prep_cycles(2)
+        assert ratio == pytest.approx(30.1, abs=0.2)
+
+    def test_totals_monotone_in_cpus(self):
+        totals = [MODEL.single_page_breakdown(c).total for c in (2, 4, 8, 16, 32)]
+        assert totals == sorted(totals)
+
+    def test_prep_share_monotone(self):
+        shares = [MODEL.single_page_breakdown(c).prep_share for c in (2, 4, 8, 16, 32)]
+        assert shares == sorted(shares)
+
+    def test_breakdown_sums(self):
+        b = MODEL.single_page_breakdown(8)
+        assert b.total == pytest.approx(sum(b.as_dict().values()))
+
+    def test_non_prep_phases_fixed_except_shootdown(self):
+        b2, b32 = MODEL.single_page_breakdown(2), MODEL.single_page_breakdown(32)
+        assert b2.unmap == b32.unmap
+        assert b2.copy == b32.copy
+        assert b2.remap == b32.remap
+        assert b32.shootdown == pytest.approx(16 * b2.shootdown)
+
+
+class TestFig3BatchShares:
+    def test_tlb_share_65_percent_at_max(self):
+        shares = MODEL.batch_shares(512, 32)
+        assert shares["tlb"] == pytest.approx(0.65, abs=1e-3)
+
+    def test_copy_dominates_at_few_pages(self):
+        """Paper: 'When migrating few pages, page copying dominates'."""
+        for threads in (2, 4, 8):
+            shares = MODEL.batch_shares(2, threads)
+            assert shares["copy"] > shares["tlb"]
+
+    def test_tlb_share_grows_with_pages(self):
+        shares = [MODEL.batch_shares(p, 32)["tlb"] for p in (2, 8, 32, 128, 512)]
+        assert shares == sorted(shares)
+
+    def test_tlb_share_grows_with_threads(self):
+        shares = [MODEL.batch_shares(512, t)["tlb"] for t in (2, 8, 32)]
+        assert shares == sorted(shares)
+
+    def test_copy_sublinear_in_pages(self):
+        """'page copying overhead grows relatively slowly' — batching."""
+        c1 = MODEL.batch_copy_cycles(64)
+        c2 = MODEL.batch_copy_cycles(128)
+        assert c2 < 2 * c1
+        assert c2 > c1
+
+    def test_zero_cases(self):
+        assert MODEL.batch_tlb_cycles(0, 32) == 0.0
+        assert MODEL.batch_tlb_cycles(32, 0) == 0.0
+        assert MODEL.batch_copy_cycles(0) == 0.0
+        assert MODEL.batch_shares(0, 0) == {"tlb": 0.0, "copy": 0.0, "fixed": 0.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MODEL.batch_tlb_cycles(-1, 2)
+        with pytest.raises(ValueError):
+            MODEL.batch_copy_cycles(-1)
+
+
+class TestFig7Speedups:
+    def base(self, pages: int) -> float:
+        return MODEL.batch_total_cycles(pages, 32, 32)
+
+    def test_prep_opt_speedup_3_44x(self):
+        s = self.base(2) / MODEL.batch_total_cycles(2, 32, 32, opt_prep=True)
+        assert s == pytest.approx(3.44, abs=1e-3)
+
+    def test_prep_plus_tlb_speedup_4_06x(self):
+        s = self.base(2) / MODEL.batch_total_cycles(2, 32, 32, opt_prep=True, opt_tlb_target_cpus=1)
+        assert s == pytest.approx(4.06, abs=1e-3)
+
+    def test_benefits_shrink_with_batch_size(self):
+        """Paper: 'the benefits decrease for larger migrations'."""
+        speedups = []
+        for p in (2, 8, 32, 128, 512):
+            speedups.append(self.base(p) / MODEL.batch_total_cycles(p, 32, 32, opt_prep=True, opt_tlb_target_cpus=1))
+        assert speedups == sorted(speedups, reverse=True)
+        assert speedups[-1] > 1.0  # still a win, just smaller
+
+    def test_tlb_opt_alone_helps(self):
+        with_opt = MODEL.batch_total_cycles(64, 32, 32, opt_tlb_target_cpus=1)
+        assert with_opt < self.base(64)
+
+
+class TestModelSanity:
+    def test_prep_requires_cpu(self):
+        with pytest.raises(ValueError):
+            MODEL.prep_cycles(0)
+
+    def test_prep_opt_is_small_scope_prep(self):
+        assert MODEL.prep_opt_cycles() == MODEL.prep_cycles(mc.PREP_OPT_SCOPE_CPUS)
+        assert MODEL.prep_opt_cycles() < MODEL.prep_cycles(32) / 10
+
+    def test_derived_constants_positive(self):
+        assert mc.PREP_COEF > 0
+        assert 1.0 < mc.PREP_EXP < 2.0
+        assert mc.SHOOTDOWN_PER_CPU > 0
+        assert mc.BATCH_IPI_PER_CPU > 0
+        assert mc.BATCH_COPY_COEF > 0
+        assert 0.5 < mc.BATCH_COPY_EXP < 1.0
+        assert mc.REMAP_SINGLE > 0

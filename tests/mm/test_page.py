@@ -1,0 +1,72 @@
+"""Physical frame metadata."""
+
+import pytest
+
+from repro.mm.page import PageState, PhysPage
+
+
+def test_attach_detach_lifecycle():
+    p = PhysPage(pfn=1, tier_id=0)
+    p.attach(pid=10, vpn=100)
+    assert p.state is PageState.MAPPED
+    assert (p.pid, p.vpn) == (10, 100)
+    p.detach()
+    assert p.state is PageState.FREE
+    assert p.pid is None and p.vpn is None
+
+
+def test_double_attach_rejected():
+    p = PhysPage(pfn=1, tier_id=0)
+    p.attach(10, 100)
+    with pytest.raises(ValueError):
+        p.attach(11, 101)
+
+
+def test_shadow_frame_can_be_reattached():
+    p = PhysPage(pfn=1, tier_id=1)
+    p.attach(10, 100)
+    p.state = PageState.SHADOW
+    p.attach(10, 100)  # remap-demotion reattaches the shadow
+    assert p.state is PageState.MAPPED
+
+
+def test_access_accounting():
+    p = PhysPage(pfn=1, tier_id=0)
+    p.attach(1, 1)
+    p.record_access(False, tid=0, cycle=5, count=3)
+    p.record_access(True, tid=1, cycle=9, count=1)
+    assert p.reads == 3 and p.writes == 1
+    assert p.total_accesses == 4
+    assert p.write_fraction == pytest.approx(0.25)
+    assert p.last_access_cycle == 9
+    assert p.accessing_tids == {0, 1}
+
+
+def test_epoch_counters_reset_independently():
+    p = PhysPage(pfn=1, tier_id=0)
+    p.record_access(False, tid=0, cycle=1, count=5)
+    p.reset_epoch_counters()
+    assert p.epoch_reads == 0
+    assert p.reads == 5  # cumulative survives
+
+
+def test_write_during_migration_sets_dirty_flag():
+    p = PhysPage(pfn=1, tier_id=0)
+    p.state = PageState.MIGRATING
+    p.record_access(False, tid=0, cycle=1)
+    assert not p.dirty_since_copy
+    p.record_access(True, tid=0, cycle=2)
+    assert p.dirty_since_copy
+
+
+def test_write_fraction_of_untouched_page():
+    assert PhysPage(pfn=1, tier_id=0).write_fraction == 0.0
+
+
+def test_detach_clears_stats():
+    p = PhysPage(pfn=1, tier_id=0)
+    p.attach(1, 1)
+    p.record_access(True, tid=2, cycle=1)
+    p.heat = 9.0
+    p.detach()
+    assert p.writes == 0 and p.heat == 0.0 and p.accessing_tids == set()

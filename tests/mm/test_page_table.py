@@ -1,0 +1,122 @@
+"""4-level radix page table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mm import pte as P
+from repro.mm.page_table import LEVEL_BITS, N_LEVELS, PageTable, vpn_indices
+
+VPN_MAX = (1 << (LEVEL_BITS * N_LEVELS)) - 1
+
+
+def test_vpn_indices_split():
+    # vpn = (1 << 27) | (2 << 18) | (3 << 9) | 4
+    vpn = (1 << 27) | (2 << 18) | (3 << 9) | 4
+    assert vpn_indices(vpn) == (1, 2, 3, 4)
+
+
+def test_vpn_indices_bounds():
+    with pytest.raises(ValueError):
+        vpn_indices(-1)
+    with pytest.raises(ValueError):
+        vpn_indices(VPN_MAX + 1)
+    assert vpn_indices(VPN_MAX) == (511, 511, 511, 511)
+
+
+def test_map_lookup_unmap():
+    t = PageTable()
+    v = P.pte_make(pfn=9, tid=1)
+    t.map(100, v)
+    assert t.lookup(100) == v
+    assert t.mapped_count == 1
+    assert t.unmap(100) == v
+    assert t.lookup(100) is None
+    assert t.mapped_count == 0
+
+
+def test_double_map_rejected():
+    t = PageTable()
+    t.map(5, P.pte_make(pfn=1, tid=0))
+    with pytest.raises(ValueError):
+        t.map(5, P.pte_make(pfn=2, tid=0))
+
+
+def test_unmap_missing_rejected():
+    with pytest.raises(KeyError):
+        PageTable().unmap(1)
+
+
+def test_update_and_modify():
+    t = PageTable()
+    t.map(7, P.pte_make(pfn=1, tid=0))
+    t.update(7, P.pte_make(pfn=2, tid=0))
+    assert P.pte_pfn(t.lookup(7)) == 2
+    t.modify(7, lambda v: P.pte_set_flag(v, P.PTE_DIRTY))
+    assert P.pte_is_dirty(t.lookup(7))
+    with pytest.raises(KeyError):
+        t.update(8, 0)
+
+
+def test_iter_ptes_sorted():
+    t = PageTable()
+    for vpn in (5000, 3, 700_000):
+        t.map(vpn, P.pte_make(pfn=vpn % 100, tid=0))
+    assert [vpn for vpn, _ in t.iter_ptes()] == [3, 5000, 700_000]
+
+
+def test_sparse_vpns_far_apart():
+    t = PageTable()
+    far = [0, 1 << 20, 1 << 30, VPN_MAX]
+    for i, vpn in enumerate(far):
+        t.map(vpn, P.pte_make(pfn=i, tid=0))
+    for i, vpn in enumerate(far):
+        assert P.pte_pfn(t.lookup(vpn)) == i
+
+
+def test_table_pages_counts_levels():
+    t = PageTable()
+    # 600 contiguous pages: 2 leaf tables, 1 each of PMD/PUD + root.
+    for vpn in range(600):
+        t.map(vpn, P.pte_make(pfn=vpn, tid=0))
+    assert t.table_pages() == 1 + 1 + 1 + 2
+    assert t.table_pages(include_leaves=False) == 3
+
+
+def test_install_leaf_shares_node():
+    a, b = PageTable(), PageTable()
+    a.map(10, P.pte_make(pfn=1, tid=0))
+    leaf = a.leaf_for(10)
+    b.install_leaf(10, leaf)
+    # A store through `a` is visible through `b` (single physical leaf).
+    a.update(10, P.pte_make(pfn=42, tid=0))
+    assert P.pte_pfn(b.lookup(10)) == 42
+
+
+def test_install_conflicting_leaf_rejected():
+    from repro.mm.page_table import PageTableNode
+
+    a = PageTable()
+    a.map(10, P.pte_make(pfn=1, tid=0))
+    a_leaf = a.leaf_for(10)
+    b = PageTable()
+    b.install_leaf(10, a_leaf)
+    with pytest.raises(ValueError):
+        b.install_leaf(10, PageTableNode(level=0))
+    with pytest.raises(ValueError):
+        b.install_leaf(10, PageTableNode(level=1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(vpns=st.lists(st.integers(0, VPN_MAX), min_size=1, max_size=80, unique=True))
+def test_map_lookup_property(vpns):
+    t = PageTable()
+    for i, vpn in enumerate(vpns):
+        t.map(vpn, P.pte_make(pfn=i, tid=0))
+    assert t.mapped_count == len(vpns)
+    for i, vpn in enumerate(vpns):
+        assert P.pte_pfn(t.lookup(vpn)) == i
+    assert [v for v, _ in t.iter_ptes()] == sorted(vpns)
+    for vpn in vpns:
+        t.unmap(vpn)
+    assert t.mapped_count == 0

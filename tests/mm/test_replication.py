@@ -1,0 +1,126 @@
+"""Per-thread page-table replication (§3.4 semantics)."""
+
+import pytest
+
+from repro.mm import pte as P
+from repro.mm.replication import ReplicatedPageTables
+
+
+def make(enabled=True, tids=(0, 1, 2)) -> ReplicatedPageTables:
+    r = ReplicatedPageTables(enabled=enabled)
+    for t in tids:
+        r.register_thread(t)
+    return r
+
+
+def test_fault_installs_owner_tid():
+    r = make()
+    v = r.handle_fault(100, tid=1, pfn=7)
+    assert P.pte_tid(v) == 1
+    assert r.is_private(100)
+    assert r.sharing_tids(100) == {1}
+
+
+def test_second_thread_promotes_to_shared():
+    r = make()
+    r.handle_fault(100, tid=0, pfn=7)
+    changed = r.note_access(100, tid=2)
+    assert changed is True
+    assert not r.is_private(100)
+    assert r.sharing_tids(100) == {0, 2}  # only actual sharers, not all threads
+    # Third access by the same thread: no further transition.
+    assert r.note_access(100, tid=2) is False
+
+
+def test_owner_access_keeps_private():
+    r = make()
+    r.handle_fault(100, tid=0, pfn=7)
+    assert r.note_access(100, tid=0) is False
+    assert r.is_private(100)
+
+
+def test_sharing_scope_grows_with_leaf_links():
+    r = make(tids=(0, 1, 2, 3))
+    r.handle_fault(100, tid=0, pfn=7)
+    r.note_access(100, tid=1)
+    r.note_access(100, tid=3)
+    assert r.sharing_tids(100) == {0, 1, 3}
+
+
+def test_leaf_sharing_single_store_semantics():
+    r = make()
+    r.handle_fault(100, tid=0, pfn=7)
+    r.note_access(100, tid=1)
+    r.update(100, P.pte_with_pfn(r.lookup(100), 42))
+    # Both thread views and the process view see the new PFN.
+    assert P.pte_pfn(r.table_for(0).lookup(100)) == 42
+    assert P.pte_pfn(r.table_for(1).lookup(100)) == 42
+    assert P.pte_pfn(r.process_table.lookup(100)) == 42
+
+
+def test_unmap_disappears_everywhere():
+    r = make()
+    r.handle_fault(100, tid=0, pfn=7)
+    r.note_access(100, tid=1)
+    r.unmap(100)
+    assert r.table_for(0).lookup(100) is None
+    assert r.table_for(1).lookup(100) is None
+
+
+def test_disabled_replication_is_process_wide():
+    r = make(enabled=False)
+    v = r.handle_fault(100, tid=1, pfn=7)
+    assert P.pte_is_shared(v)  # everything marked shared
+    assert r.sharing_tids(100) == {0, 1, 2}  # all registered threads
+    assert r.table_for(0) is r.process_table
+    assert r.note_access(100, tid=2) is False
+
+
+def test_pages_in_same_leaf_share_one_leaf_table():
+    r = make()
+    r.handle_fault(100, tid=0, pfn=1)
+    r.handle_fault(101, tid=1, pfn=2)  # same 512-entry leaf region
+    # Each page stays private to its own toucher...
+    assert r.sharing_tids(100) == {0}
+    assert r.sharing_tids(101) == {1}
+    # ...even though both threads link the same physical leaf table.
+    assert r.table_for(0).leaf_for(100) is r.table_for(1).leaf_for(101)
+
+
+def test_replica_overhead_counts_upper_levels_only():
+    r = make(tids=(0, 1))
+    for vpn in range(0, 600):
+        r.handle_fault(vpn, tid=vpn % 2, pfn=vpn)
+    overhead = r.upper_table_overhead()
+    # Each replica pays its own PGD root + one PUD + one PMD = 3 upper
+    # pages; two threads → 6.  The ~2 leaf tables for 600 pages are
+    # shared and must NOT appear here — that is the §3.4 memory saving.
+    assert overhead == 6
+    # Leaves are shared: the process table and replicas reference the
+    # same leaf objects.
+    assert r.table_for(0).leaf_for(0) is r.process_table.leaf_for(0)
+
+
+def test_tid_out_of_field_rejected():
+    r = ReplicatedPageTables()
+    with pytest.raises(ValueError):
+        r.register_thread(0x7F)  # reserved sentinel
+    with pytest.raises(ValueError):
+        r.register_thread(-1)
+    r.register_thread(0)
+    with pytest.raises(ValueError):
+        r.register_thread(0)  # duplicate
+
+
+def test_unregistered_thread_fault_rejected():
+    r = make(tids=(0,))
+    with pytest.raises(KeyError):
+        r.handle_fault(5, tid=9, pfn=1)
+    r.handle_fault(5, tid=0, pfn=1)
+    with pytest.raises(KeyError):
+        r.note_access(5, tid=9)
+
+
+def test_note_access_unmapped_rejected():
+    with pytest.raises(KeyError):
+        make().note_access(1, tid=0)

@@ -1,0 +1,95 @@
+"""Shootdown scope computation — the §3.4 payoff."""
+
+import numpy as np
+
+from repro.machine.cpu import CpuComplex
+from repro.mm.replication import ReplicatedPageTables
+from repro.mm.tlb_coherence import compute_scope, execute_shootdown
+
+
+def setup(replication=True, n_threads=4):
+    cpu = CpuComplex(n_cores=8, tlb_entries=64, rng=np.random.default_rng(0))
+    repl = ReplicatedPageTables(enabled=replication)
+    core_map = {}
+    for tid in range(n_threads):
+        repl.register_thread(tid)
+        cpu.schedule_thread(tid, tid * 2)  # cores 0,2,4,6
+        core_map[tid] = tid * 2
+    return cpu, repl, core_map
+
+
+def test_private_page_targets_owner_core_only():
+    cpu, repl, core_map = setup()
+    repl.handle_fault(100, tid=2, pfn=5)
+    scope = compute_scope(repl, cpu, 100, thread_core_map=core_map)
+    assert scope.target_core_ids == (4,)
+    assert scope.sharing_tids == (2,)
+    assert not scope.process_wide
+
+
+def test_shared_page_targets_actual_sharers():
+    cpu, repl, core_map = setup()
+    repl.handle_fault(100, tid=0, pfn=5)
+    repl.note_access(100, tid=3)
+    scope = compute_scope(repl, cpu, 100, thread_core_map=core_map)
+    assert scope.target_core_ids == (0, 6)
+    # Threads 1 and 2 never linked the leaf: no IPI for them.
+    assert 2 not in scope.target_core_ids
+
+
+def test_no_replication_targets_every_process_core():
+    cpu, repl, core_map = setup(replication=False)
+    repl.handle_fault(100, tid=0, pfn=5)
+    scope = compute_scope(repl, cpu, 100, thread_core_map=core_map)
+    assert scope.target_core_ids == (0, 2, 4, 6)
+    assert scope.process_wide
+
+
+def test_live_schedule_used_when_no_core_map():
+    cpu, repl, _ = setup()
+    repl.handle_fault(100, tid=1, pfn=5)
+    scope = compute_scope(repl, cpu, 100)
+    assert scope.target_core_ids == (2,)
+
+
+def test_initiator_excluded():
+    cpu, repl, core_map = setup()
+    repl.handle_fault(100, tid=1, pfn=5)
+    scope = compute_scope(repl, cpu, 100, thread_core_map=core_map, initiator_core=2)
+    assert scope.target_core_ids == ()
+
+
+def test_execute_shootdown_invalidates_target_tlbs():
+    cpu, repl, core_map = setup()
+    repl.handle_fault(100, tid=0, pfn=5)
+    repl.note_access(100, tid=1)
+    # Both sharers cached the translation.
+    cpu.core(0).tlb.insert(100, 5)
+    cpu.core(2).tlb.insert(100, 5)
+    cpu.core(4).tlb.insert(100, 5)  # non-sharer (stale test entry)
+    scope = compute_scope(repl, cpu, 100, thread_core_map=core_map)
+    cost = execute_shootdown(cpu, scope)
+    assert cost > 0
+    assert not cpu.core(0).tlb.contains(100)
+    assert not cpu.core(2).tlb.contains(100)
+    assert cpu.core(4).tlb.contains(100)  # out of scope: untouched
+
+
+def test_scope_shrinks_ipi_cost():
+    cpu, repl, core_map = setup()
+    repl.handle_fault(100, tid=0, pfn=5)
+    private_scope = compute_scope(repl, cpu, 100, thread_core_map=core_map)
+    cost_private = execute_shootdown(cpu, private_scope)
+
+    cpu2, repl2, core_map2 = setup(replication=False)
+    repl2.handle_fault(100, tid=0, pfn=5)
+    wide_scope = compute_scope(repl2, cpu2, 100, thread_core_map=core_map2)
+    cost_wide = execute_shootdown(cpu2, wide_scope)
+    assert cost_wide > cost_private
+
+
+def test_unmapped_page_has_empty_scope():
+    cpu, repl, core_map = setup()
+    scope = compute_scope(repl, cpu, 999, thread_core_map=core_map)
+    assert scope.target_core_ids == ()
+    assert scope.n_targets == 0

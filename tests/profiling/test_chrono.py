@@ -1,0 +1,93 @@
+"""Chrono-style idle-time-weighted profiling."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.base import AccessBatch
+from repro.profiling.chrono import ChronoProfiler
+
+
+def batch(vpns, writes=None, pid=1):
+    v = np.asarray(vpns, dtype=np.int64)
+    w = np.zeros(v.size, dtype=bool) if writes is None else np.asarray(writes, dtype=bool)
+    return AccessBatch(pid=pid, tid=0, vpns=v, is_write=w)
+
+
+def make(n=8, window=1.0):
+    p = ChronoProfiler(window_fraction=window)
+    p.register_pages(1, np.arange(n, dtype=np.int64))
+    return p
+
+
+def test_instant_fault_scores_full_heat():
+    p = make()
+    p.observe(batch([0]))  # poisoned this epoch, faulted this epoch
+    assert p.hotness(1)[0] == pytest.approx(1.0)
+
+
+def test_long_idle_scores_low():
+    p = make(n=8, window=1.0)
+    # Page 3 sits poisoned for 3 epochs before its first touch.
+    for _ in range(3):
+        p.end_epoch()
+    p.observe(batch([3]))
+    # idle = 3 → weight 1/4, and 3 epochs of decay never applied (no heat yet).
+    assert p.hotness(1)[3] == pytest.approx(0.25)
+
+
+def test_idle_time_separates_frequencies():
+    """Both pages are touched, but one instantly every rotation and one
+    lazily — Chrono distinguishes them where plain hint faults cannot."""
+    fast_p = make(n=4, window=1.0)
+    for _ in range(6):
+        fast_p.observe(batch([0]))  # instant re-touch
+        fast_p.end_epoch()
+    lazy_p = make(n=4, window=1.0)
+    for e in range(6):
+        if e % 3 == 2:
+            lazy_p.observe(batch([0]))  # touched every third epoch
+        lazy_p.end_epoch()
+    assert fast_p.hotness(1)[0] > 2 * lazy_p.hotness(1).get(0, 0.0)
+
+
+def test_app_pays_fault_cost():
+    p = make()
+    p.observe(batch([0, 1]))
+    assert p.stats.app_overhead_cycles > 0
+    assert p.stats.samples_taken == 2
+
+
+def test_write_tracking():
+    p = make()
+    p.observe(batch([0, 1], writes=[True, False]))
+    assert p.write_fraction(1, 0) == pytest.approx(1.0)
+    assert p.write_fraction(1, 1) == 0.0
+
+
+def test_one_fault_per_poisoning():
+    p = make()
+    p.observe(batch([0] * 50))
+    assert p.stats.samples_taken == 1
+    p.observe(batch([0] * 50))  # not poisoned anymore until rotation
+    assert p.stats.samples_taken == 1
+
+
+def test_rotation_repoisons():
+    p = make(n=4, window=1.0)
+    p.observe(batch([0]))
+    p.end_epoch()  # rotation re-poisons page 0
+    p.observe(batch([0]))
+    assert p.stats.samples_taken == 2
+
+
+def test_forget():
+    p = make()
+    p.observe(batch([0]))
+    p.forget(1)
+    assert p.hotness(1) == {}
+    p.end_epoch()  # no crash
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ChronoProfiler(window_fraction=0.0)

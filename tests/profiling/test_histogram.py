@@ -1,0 +1,71 @@
+"""Memtis-style hotness histogram and capacity thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.histogram import HotnessHistogram
+
+
+def test_bin_of_log_buckets():
+    h = HotnessHistogram(n_bins=8, base=2.0)
+    assert h.bin_of(0.0) == 0
+    assert h.bin_of(0.5) == 0
+    assert h.bin_of(1.0) == 1
+    assert h.bin_of(2.0) == 2
+    assert h.bin_of(1e9) == 7  # clipped to top bin
+
+
+def test_build_counts_everything():
+    h = HotnessHistogram(n_bins=8)
+    heats = np.array([0.0, 0.0, 1.0, 2.0, 4.0, 1e12])
+    counts = h.build(heats)
+    assert counts.sum() == heats.size
+    assert counts[0] == 2
+
+
+def test_build_empty():
+    h = HotnessHistogram()
+    assert h.build(np.empty(0)).sum() == 0
+
+
+def test_hot_threshold_everything_fits():
+    h = HotnessHistogram()
+    assert h.hot_threshold(np.array([5.0, 3.0]), capacity_pages=10) == 0.0
+
+
+def test_hot_threshold_selects_kth_hottest():
+    h = HotnessHistogram()
+    heats = np.array([1.0, 9.0, 5.0, 3.0, 7.0])
+    # Capacity 2 → the 2 hottest (9, 7) are in; threshold = 7.
+    assert h.hot_threshold(heats, capacity_pages=2) == 7.0
+
+
+def test_hot_threshold_zero_capacity():
+    h = HotnessHistogram()
+    assert h.hot_threshold(np.array([1.0]), 0) == np.inf
+
+
+def test_hot_threshold_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        HotnessHistogram().hot_threshold(np.array([1.0]), -1)
+
+
+def test_hot_set_capacity_respected():
+    h = HotnessHistogram()
+    heat = {10: 5.0, 11: 1.0, 12: 9.0, 13: 3.0}
+    assert h.hot_set(heat, 2) == {12, 10}
+    assert h.hot_set(heat, 0) == set()
+    assert h.hot_set({}, 5) == set()
+
+
+def test_hot_set_deterministic_tiebreak():
+    h = HotnessHistogram()
+    heat = {3: 1.0, 1: 1.0, 2: 1.0}
+    assert h.hot_set(heat, 2) == {1, 2}  # lowest vpn wins ties
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HotnessHistogram(n_bins=1)
+    with pytest.raises(ValueError):
+        HotnessHistogram(base=1.0)

@@ -1,0 +1,82 @@
+"""Accessed-bit scanning profiler."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.base import AccessBatch
+from repro.profiling.ptscan import SCAN_COST_PER_PTE, PtScanProfiler
+
+
+def batch(vpns, writes=None, pid=1):
+    v = np.asarray(vpns, dtype=np.int64)
+    w = np.zeros(v.size, dtype=bool) if writes is None else np.asarray(writes, dtype=bool)
+    return AccessBatch(pid=pid, tid=0, vpns=v, is_write=w)
+
+
+def test_binary_signal_ignores_frequency():
+    """One access and a thousand accesses look identical per scan."""
+    prof = PtScanProfiler()
+    prof.observe(batch([1] * 1000 + [2]))
+    prof.end_epoch()
+    heat = prof.hotness(1)
+    assert heat[1] == heat[2]
+
+
+def test_frequency_emerges_across_epochs():
+    """Repeated-touch pages accumulate heat across scans (CLOCK-style)."""
+    prof = PtScanProfiler(decay=0.5)
+    for epoch in range(4):
+        prof.observe(batch([1]))  # touched every epoch
+        if epoch == 0:
+            prof.observe(batch([2]))  # touched once
+        prof.end_epoch()
+    heat = prof.hotness(1)
+    assert heat[1] > heat[2]
+
+
+def test_dirty_bit_feeds_write_heat():
+    prof = PtScanProfiler()
+    prof.observe(batch([1, 2], writes=[True, False]))
+    prof.end_epoch()
+    assert prof.write_fraction(1, 1) == pytest.approx(1.0)
+    assert prof.write_fraction(1, 2) == 0.0
+
+
+def test_scan_cost_scales_with_rss_not_traffic():
+    prof = PtScanProfiler()
+    prof.set_rss(1, 10_000)
+    prof.observe(batch([1]))  # one access only
+    prof.end_epoch()
+    assert prof.stats.overhead_cycles == pytest.approx(10_000 * SCAN_COST_PER_PTE)
+
+
+def test_scan_interval_batches_epochs():
+    prof = PtScanProfiler(scan_interval_epochs=2)
+    prof.observe(batch([5]))
+    prof.end_epoch()  # no scan yet
+    assert prof.hotness(1) == {}
+    prof.end_epoch()  # scan fires
+    assert 5 in prof.hotness(1)
+
+
+def test_bits_cleared_after_scan():
+    prof = PtScanProfiler()
+    prof.observe(batch([5]))
+    prof.end_epoch()
+    h1 = prof.hotness(1)[5]
+    prof.end_epoch()  # page untouched this epoch: only decay
+    assert prof.hotness(1).get(5, 0.0) < h1
+
+
+def test_forget():
+    prof = PtScanProfiler()
+    prof.set_rss(1, 100)
+    prof.observe(batch([5]))
+    prof.forget(1)
+    prof.end_epoch()
+    assert prof.hotness(1) == {}
+
+
+def test_invalid_interval():
+    with pytest.raises(ValueError):
+        PtScanProfiler(scan_interval_epochs=0)

@@ -1,0 +1,96 @@
+"""Telescope-style hierarchical scanning."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.base import AccessBatch
+from repro.profiling.ptscan import PtScanProfiler
+from repro.profiling.telescope import TelescopeProfiler
+
+
+def batch(vpns, pid=1):
+    v = np.asarray(vpns, dtype=np.int64)
+    return AccessBatch(pid=pid, tid=0, vpns=v, is_write=np.zeros(v.size, dtype=bool))
+
+
+def make(n_pages=4096, leaf=64):
+    p = TelescopeProfiler(leaf_region_pages=leaf)
+    p.register_range(1, start_vpn=0, n_pages=n_pages)
+    return p
+
+
+def test_cold_regions_pruned():
+    p = make(n_pages=4096)
+    p.observe(batch([0]))  # one hot page in a 4096-page range
+    p.end_epoch()
+    # Only the root was visited + the touched page checked.
+    assert p.nodes_visited <= 3
+    assert p.nodes_pruned_pages == 0  # root itself was touched; no pruning yet
+    p.end_epoch()  # nothing touched: root pruned, whole range skipped
+    assert p.nodes_pruned_pages >= 4096 - 64
+
+
+def test_zooming_refines_hot_regions():
+    p = make(n_pages=1024, leaf=64)
+    for _ in range(8):
+        p.observe(batch([10]))
+        p.end_epoch()
+    # The zoom tree should now have depth: root split down toward 64 pages.
+    root = p._roots[1]
+    depth = 0
+    node = root
+    while node.children is not None:
+        node = node.children[0]
+        depth += 1
+    assert depth >= 3  # 1024 -> 512 -> 256 -> 128 (at least)
+
+
+def test_heat_lands_on_touched_pages():
+    p = make(n_pages=512)
+    p.observe(batch([5, 5, 9]))
+    p.end_epoch()
+    heat = p.hotness(1)
+    assert set(heat) == {5, 9}
+
+
+def test_cheaper_than_flat_scan_for_sparse_traffic():
+    n = 8192
+    tele = make(n_pages=n)
+    flat = PtScanProfiler()
+    flat.set_rss(1, n)
+    for _ in range(6):
+        tele.observe(batch([1, 2, 3]))
+        flat.observe(batch([1, 2, 3]))
+        tele.end_epoch()
+        flat.end_epoch()
+    assert tele.stats.overhead_cycles < flat.stats.overhead_cycles / 10
+
+
+def test_out_of_range_accesses_ignored():
+    p = make(n_pages=100)
+    p.observe(batch([5000]))
+    p.end_epoch()
+    assert p.hotness(1) == {}
+
+
+def test_unregistered_pid_ignored():
+    p = TelescopeProfiler()
+    p.observe(batch([1], pid=9))
+    p.end_epoch()
+    assert p.hotness(9) == {}
+
+
+def test_forget():
+    p = make()
+    p.observe(batch([1]))
+    p.forget(1)
+    p.end_epoch()
+    assert p.hotness(1) == {}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TelescopeProfiler(leaf_region_pages=0)
+    p = TelescopeProfiler()
+    with pytest.raises(ValueError):
+        p.register_range(1, 0, 0)

@@ -1,0 +1,42 @@
+"""Cycle clock behaviour."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+def test_starts_at_zero():
+    assert Clock().cycles == 0
+    assert Clock().seconds == 0.0
+
+
+def test_advance_accumulates():
+    c = Clock()
+    c.advance(100)
+    c.advance(50)
+    assert c.cycles == 150
+
+
+def test_advance_negative_rejected():
+    with pytest.raises(ValueError):
+        Clock().advance(-1)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        Clock(start_cycles=-5)
+
+
+def test_advance_seconds():
+    c = Clock()
+    c.advance_seconds(1.0)
+    assert c.cycles == 3_000_000_000
+    assert c.seconds == pytest.approx(1.0)
+
+
+def test_advance_to_is_monotonic():
+    c = Clock()
+    c.advance_to(500)
+    assert c.cycles == 500
+    c.advance_to(100)  # in the past: no-op
+    assert c.cycles == 500

@@ -1,0 +1,98 @@
+"""Discrete-event loop."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(30, fired.append, "c")
+    loop.schedule(10, fired.append, "a")
+    loop.schedule(20, fired.append, "b")
+    loop.run_until(100)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_cycle_fires_in_schedule_order():
+    loop = EventLoop()
+    fired = []
+    for tag in ("x", "y", "z"):
+        loop.schedule(5, fired.append, tag)
+    loop.run_until(5)
+    assert fired == ["x", "y", "z"]
+
+
+def test_run_until_leaves_future_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(10, fired.append, "early")
+    loop.schedule(50, fired.append, "late")
+    n = loop.run_until(20)
+    assert n == 1 and fired == ["early"]
+    assert len(loop) == 1
+    loop.run_until(60)
+    assert fired == ["early", "late"]
+
+
+def test_now_advances_to_run_until_bound():
+    loop = EventLoop()
+    loop.run_until(42)
+    assert loop.now == 42
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop()
+    loop.run_until(100)
+    with pytest.raises(ValueError):
+        loop.schedule(50, lambda: None)
+
+
+def test_schedule_after_relative():
+    loop = EventLoop()
+    loop.run_until(10)
+    fired = []
+    loop.schedule_after(5, fired.append, 1)
+    loop.run_until(15)
+    assert fired == [1]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        EventLoop().schedule_after(-1, lambda: None)
+
+
+def test_cancel_skips_event():
+    loop = EventLoop()
+    fired = []
+    ev = loop.schedule(10, fired.append, "dead")
+    loop.schedule(10, fired.append, "alive")
+    ev.cancel()
+    loop.run_until(10)
+    assert fired == ["alive"]
+
+
+def test_events_can_schedule_events():
+    loop = EventLoop()
+    fired = []
+
+    def chain(depth: int) -> None:
+        fired.append(depth)
+        if depth < 3:
+            loop.schedule_after(10, chain, depth + 1)
+
+    loop.schedule(0, chain, 0)
+    loop.run_all()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_run_all_limit_guards_runaway():
+    loop = EventLoop()
+
+    def forever() -> None:
+        loop.schedule_after(1, forever)
+
+    loop.schedule(0, forever)
+    with pytest.raises(RuntimeError):
+        loop.run_all(limit=100)

@@ -1,0 +1,44 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_page_constants():
+    assert units.PAGE_SIZE == 4096
+    assert units.HUGE_PAGE_SIZE == 2 * 1024 * 1024
+    assert units.BASE_PAGES_PER_HUGE_PAGE == 512
+    assert 1 << units.PAGE_SHIFT == units.PAGE_SIZE
+
+
+def test_ns_cycles_roundtrip():
+    assert units.ns_to_cycles(70.0) == 210  # 3 GHz
+    assert units.cycles_to_ns(210) == pytest.approx(70.0)
+
+
+def test_seconds_cycles():
+    assert units.seconds_to_cycles(1.0) == 3_000_000_000
+    assert units.cycles_to_seconds(3_000_000_000) == pytest.approx(1.0)
+
+
+def test_seconds_roundtrip_fractional():
+    for s in (0.001, 0.5, 2.25):
+        assert units.cycles_to_seconds(units.seconds_to_cycles(s)) == pytest.approx(s)
+
+
+def test_pages_for_bytes_ceiling():
+    assert units.pages_for_bytes(0) == 0
+    assert units.pages_for_bytes(1) == 1
+    assert units.pages_for_bytes(4096) == 1
+    assert units.pages_for_bytes(4097) == 2
+    assert units.pages_for_bytes(10 * 4096) == 10
+
+
+def test_pages_for_bytes_custom_page():
+    assert units.pages_for_bytes(10**9, page_size=10**7) == 100
+
+
+def test_pages_for_bytes_negative_rejected():
+    with pytest.raises(ValueError):
+        units.pages_for_bytes(-1)

@@ -1,0 +1,45 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_costs_command(capsys):
+    assert main(["costs", "--cpus", "2", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "50000" in out and "750000" in out
+    assert "38.3%" in out and "76.9%" in out
+
+
+def test_run_command_dilemma(capsys):
+    assert main(["run", "--mix", "dilemma", "--policy", "none", "--epochs", "3", "--accesses", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "memcached" in out and "liblinear" in out
+    assert "CFI" in out
+
+
+def test_compare_command(capsys):
+    rc = main([
+        "compare", "--policies", "none", "uniform",
+        "--mix", "dilemma", "--epochs", "3", "--accesses", "1000",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "normalized" in out
+    assert "fairness" in out
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["compare", "--policies", "bogus", "--epochs", "1"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_rejects_unknown_mix():
+    with pytest.raises(SystemExit):
+        main(["run", "--mix", "bogus"])

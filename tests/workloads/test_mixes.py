@@ -1,0 +1,69 @@
+"""Co-location mix builders (Table 2 fidelity)."""
+
+import pytest
+
+from repro.core.classify import ServiceClass
+from repro.sim.config import SimulationConfig
+from repro.workloads.mixes import (
+    INTENSITY,
+    PAPER_RSS_BYTES,
+    PAPER_START_SECONDS,
+    dilemma_pair,
+    paper_colocation_mix,
+)
+
+
+def test_table2_rss_values():
+    assert PAPER_RSS_BYTES == {
+        "memcached": 51 * 10**9,
+        "pagerank": 42 * 10**9,
+        "liblinear": 69 * 10**9,
+    }
+
+
+def test_paper_mix_composition():
+    mix = paper_colocation_mix()
+    names = [w.name for w in mix]
+    assert names == ["memcached", "pagerank", "liblinear"]
+    services = {w.name: w.service for w in mix}
+    assert services["memcached"] is ServiceClass.LC
+    assert services["pagerank"] is ServiceClass.BE
+    assert services["liblinear"] is ServiceClass.BE
+
+
+def test_rss_scaled_by_page_unit():
+    sim = SimulationConfig()  # 10 MB pages
+    mix = paper_colocation_mix(sim)
+    rss = {w.name: w.spec.rss_pages for w in mix}
+    assert rss == {"memcached": 5100, "pagerank": 4200, "liblinear": 6900}
+
+
+def test_start_epochs_follow_section_5_3():
+    sim = SimulationConfig(epoch_seconds=2.0)
+    mix = paper_colocation_mix(sim)
+    starts = {w.name: w.spec.start_epoch for w in mix}
+    assert starts == {"memcached": 0, "pagerank": 25, "liblinear": 55}
+    assert PAPER_START_SECONDS == {"memcached": 0, "pagerank": 50, "liblinear": 110}
+
+
+def test_intensity_applied():
+    mix = paper_colocation_mix(accesses_per_thread=1000)
+    apt = {w.name: w.spec.accesses_per_thread for w in mix}
+    assert apt["memcached"] == 1000
+    assert apt["pagerank"] == int(1000 * INTENSITY["pagerank"])
+    assert apt["liblinear"] == int(1000 * INTENSITY["liblinear"])
+
+
+def test_be_more_intense_than_lc():
+    assert INTENSITY["liblinear"] > INTENSITY["memcached"]
+    assert INTENSITY["pagerank"] > INTENSITY["memcached"]
+
+
+def test_dilemma_pair():
+    pair = dilemma_pair()
+    assert [w.name for w in pair] == ["memcached", "liblinear"]
+    assert all(w.spec.start_epoch == 0 for w in pair)
+
+
+def test_eight_threads_default():
+    assert all(w.spec.n_threads == 8 for w in paper_colocation_mix())
