@@ -19,20 +19,35 @@ Commands
     Print the calibrated migration cost model (Figures 2/3/7 data)::
 
         python -m repro costs --cpus 2 8 32
+
+``trace``
+    Summarize a trace captured with ``--trace`` (per-phase migration
+    cycles, TLB shootdown-scope histogram, CBFRP credit timeline)::
+
+        python -m repro run --policy vulcan --epochs 20 --trace /tmp/t.json
+        python -m repro trace /tmp/t.json
+
+``run``/``compare`` also accept ``--json`` for machine-readable output
+instead of rendered tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from repro.harness import ColocationExperiment
+from repro.harness.export import to_json
 from repro.metrics.fairness import cfi
 from repro.metrics.perf import normalize_to_min
 from repro.metrics.reporting import render_table
 from repro.mm.migration_costs import MigrationCostModel
+from repro.obs.export import read_trace, summarize, write_chrome_trace
+from repro.obs.trace import get_tracer
 from repro.policies import POLICY_REGISTRY
 from repro.sim.config import SimulationConfig
 from repro.workloads.mixes import dilemma_pair, paper_colocation_mix
@@ -54,8 +69,45 @@ def _run_one(policy: str, mix: str, epochs: int, apt: int, seed: int):
     return exp.run(epochs)
 
 
+def _check_trace_path(path: str) -> None:
+    """Fail before the run, not after it, when the trace can't be written."""
+    parent = Path(path).resolve().parent
+    if not parent.is_dir():
+        raise SystemExit(f"--trace: directory {parent} does not exist")
+
+
+def _export_trace(res, path: str) -> None:
+    """Write the captured event stream as a Chrome trace_event file."""
+    tracer = get_tracer()
+    names = {ts.pid: ts.name for ts in res.workloads.values()}
+    n = write_chrome_trace(tracer.events(), path, process_names=names)
+    dropped = tracer.buffer.dropped
+    note = f" ({dropped} oldest dropped by ring buffer)" if dropped else ""
+    print(f"wrote {n} trace events to {path}{note}", file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    res = _run_one(args.policy, args.mix, args.epochs, args.accesses, args.seed)
+    tracer = get_tracer()
+    if args.trace:
+        _check_trace_path(args.trace)
+        tracer.enable()
+    try:
+        res = _run_one(args.policy, args.mix, args.epochs, args.accesses, args.seed)
+        if args.trace:
+            _export_trace(res, args.trace)
+    finally:
+        if args.trace:
+            tracer.disable()
+    alloc = {p: np.asarray(t.fast_pages[-WINDOW:], float) for p, t in res.workloads.items()}
+    fthr = {p: np.asarray(t.fthr_true[-WINDOW:], float) for p, t in res.workloads.items()}
+    fairness = cfi(alloc, fthr)
+    if args.json:
+        payload = to_json(res)
+        payload["mix"] = args.mix
+        payload["seed"] = args.seed
+        payload["cfi"] = fairness
+        print(json.dumps(payload, indent=2))
+        return 0
     rows = []
     for ts in res.workloads.values():
         rows.append([
@@ -72,30 +124,60 @@ def cmd_run(args: argparse.Namespace) -> int:
         title=f"policy={args.policy} mix={args.mix} epochs={args.epochs} (steady window {WINDOW})",
         float_fmt="{:.3g}",
     ))
-    alloc = {p: np.asarray(t.fast_pages[-WINDOW:], float) for p, t in res.workloads.items()}
-    fthr = {p: np.asarray(t.fthr_true[-WINDOW:], float) for p, t in res.workloads.items()}
-    print(f"\nCFI (Eq. 4, steady window): {cfi(alloc, fthr):.3f}")
+    print(f"\nCFI (Eq. 4, steady window): {fairness:.3f}")
     return 0
+
+
+def _compare_trace_path(base: str, policy: str) -> str:
+    """Per-policy trace file for ``compare``: t.json → t.vulcan.json."""
+    p = Path(base)
+    suffix = p.suffix or ".json"
+    return str(p.with_name(f"{p.stem}.{policy}{suffix}"))
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     perf: dict[str, dict[str, float]] = {}
     fairness: dict[str, float] = {}
     names: list[str] = []
+    results: dict[str, dict] = {}
+    tracer = get_tracer()
+    if args.trace:
+        _check_trace_path(args.trace)
     for policy in args.policies:
         if policy not in POLICY_REGISTRY:
             raise SystemExit(f"unknown policy {policy!r}; available: {sorted(POLICY_REGISTRY)}")
-        res = _run_one(policy, args.mix, args.epochs, args.accesses, args.seed)
+        if args.trace:
+            tracer.enable()  # fresh buffer + clock per policy
+        try:
+            res = _run_one(policy, args.mix, args.epochs, args.accesses, args.seed)
+            if args.trace:
+                _export_trace(res, _compare_trace_path(args.trace, policy))
+        finally:
+            if args.trace:
+                tracer.disable()
         names = [ts.name for ts in res.workloads.values()]
         for ts in res.workloads.values():
             perf.setdefault(ts.name, {})[policy] = float(np.mean(ts.ops[-WINDOW:]))
         alloc = {p: np.asarray(t.fast_pages[-WINDOW:], float) for p, t in res.workloads.items()}
         fthr = {p: np.asarray(t.fthr_true[-WINDOW:], float) for p, t in res.workloads.items()}
         fairness[policy] = cfi(alloc, fthr)
+        if args.json:
+            results[policy] = to_json(res)
         print(f"  ran {policy}", file=sys.stderr)
+    normalized = {name: normalize_to_min(perf[name]) for name in names}
+    if args.json:
+        print(json.dumps({
+            "mix": args.mix,
+            "epochs": args.epochs,
+            "seed": args.seed,
+            "fairness_cfi": fairness,
+            "normalized_perf": normalized,
+            "policies": results,
+        }, indent=2))
+        return 0
     rows = []
     for name in names:
-        normed = normalize_to_min(perf[name])
+        normed = normalized[name]
         for policy in args.policies:
             rows.append([name, policy, normed[policy], perf[name][policy]])
     print(render_table(
@@ -128,6 +210,20 @@ def cmd_costs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        events = read_trace(args.path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace file: {exc}")
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        raise SystemExit(f"{args.path} is not a trace written by --trace: {exc}")
+    if not events:
+        print(f"no trace events in {args.path}", file=sys.stderr)
+        return 1
+    print(summarize(events))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -139,6 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epochs", type=int, default=60)
     run.add_argument("--accesses", type=int, default=5000, help="accesses per thread per epoch")
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--json", action="store_true", help="emit machine-readable JSON instead of tables")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="capture a Chrome trace_event file (summarize with `repro trace PATH`)")
     run.set_defaults(func=cmd_run)
 
     comp = sub.add_parser("compare", help="race several policies")
@@ -147,11 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--epochs", type=int, default=60)
     comp.add_argument("--accesses", type=int, default=5000)
     comp.add_argument("--seed", type=int, default=1)
+    comp.add_argument("--json", action="store_true", help="emit machine-readable JSON instead of tables")
+    comp.add_argument("--trace", metavar="PATH", default=None,
+                      help="capture one Chrome trace per policy (PATH gets a .<policy> infix)")
     comp.set_defaults(func=cmd_compare)
 
     costs = sub.add_parser("costs", help="print the calibrated cost model")
     costs.add_argument("--cpus", type=int, nargs="+", default=[2, 4, 8, 16, 32])
     costs.set_defaults(func=cmd_costs)
+
+    trace = sub.add_parser("trace", help="summarize a captured trace file")
+    trace.add_argument("path", help="trace file written by --trace (Chrome JSON or JSONL)")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.classify import ServiceClass
+from repro.obs.events import EventKind
+from repro.obs.trace import get_tracer
 
 #: Credits each workload starts with (Karma-style initial endowment).
 INITIAL_CREDITS = 64
@@ -109,6 +111,7 @@ def run_cbfrp(
     if set(demands) != set(service):
         raise ValueError("demands and service must cover the same pids")
     rng = rng if rng is not None else np.random.default_rng(0)
+    tracer = get_tracer()
     state = CbfrpState(capacity_units=capacity_units, demands=dict(demands), service=dict(service))
     n = len(demands)
     if n == 0:
@@ -145,6 +148,20 @@ def run_cbfrp(
             surplus[d] -= moved
             ledger.transfer(d, b, moved)
             state.transfers += moved
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.CREDIT_GRANT,
+                    "credit_grant",
+                    pid=b,
+                    args={
+                        "donor": d,
+                        "borrower": b,
+                        "units": moved,
+                        "donor_credits": ledger.get(d),
+                        "borrower_credits": ledger.get(b),
+                    },
+                )
+                tracer.metrics.counter("cbfrp_units_granted", workload=d).inc(moved)
             if surplus[d] == 0:
                 donors.discard(d)
         elif b in lc_borrowers:
@@ -161,6 +178,20 @@ def run_cbfrp(
             ledger.transfer(d, b, 1)
             state.transfers += 1
             state.expropriated += 1
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.CREDIT_RECLAIM,
+                    "credit_reclaim",
+                    pid=b,
+                    args={
+                        "donor": d,
+                        "borrower": b,
+                        "units": 1,
+                        "donor_credits": ledger.get(d),
+                        "borrower_credits": ledger.get(b),
+                    },
+                )
+                tracer.metrics.counter("cbfrp_units_expropriated", workload=d).inc()
         else:
             break
         # Lines 16-17: drop satisfied borrowers.

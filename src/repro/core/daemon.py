@@ -31,6 +31,8 @@ from repro.mm.address_space import AddressSpace
 from repro.mm.frame_alloc import FrameAllocator
 from repro.mm.migration import MigrationEngine, MigrationRequest
 from repro.mm.shadow import ShadowTracker
+from repro.obs.events import EventKind
+from repro.obs.trace import get_tracer
 from repro.profiling.base import Profiler
 
 
@@ -167,6 +169,22 @@ class VulcanDaemon:
         quotas = {pid: u * unit for pid, u in state.allocations.items()}
         self.partition.set_quotas(quotas)
         report.quotas = quotas
+        tracer = get_tracer()
+        if tracer.enabled:
+            for pid in self.workloads:
+                tracer.emit(
+                    EventKind.CREDIT_BALANCE,
+                    "credit_balance",
+                    pid=pid,
+                    args={
+                        "credits": self.credits.get(pid),
+                        "quota_pages": quotas.get(pid, 0),
+                        "demand_pages": report.demands.get(pid, 0),
+                        "fthr": report.fthr.get(pid, 0.0),
+                    },
+                )
+                tracer.metrics.gauge("quota_pages", workload=pid).set(quotas.get(pid, 0))
+                tracer.metrics.gauge("cbfrp_credits", workload=pid).set(self.credits.get(pid))
 
         # 4./5. Per-workload promotion and demotion.
         if not migrate:
@@ -249,8 +267,17 @@ class VulcanDaemon:
         return plan
 
     def _execute(self, handle: WorkloadHandle, plan: MigrationPlan) -> None:
+        tracer = get_tracer()
         requests: list[MigrationRequest] = []
         for m in plan.demotions:
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.QUEUE_DEMOTION,
+                    "queue_demotion",
+                    pid=m.pid,
+                    args={"vpn": m.vpn, "heat": m.heat},
+                )
+                tracer.metrics.counter("queue_demotions", workload=m.pid).inc()
             requests.append(
                 MigrationRequest(pid=m.pid, vpn=m.vpn, dest_tier=1, sync=True)
             )

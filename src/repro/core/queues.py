@@ -18,6 +18,8 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.core.classify import PageClass
+from repro.obs.events import EventKind
+from repro.obs.trace import get_tracer
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,14 @@ class PromotionQueues:
             self._heat_sum[old_cls] -= entry.heat
             self._heat_count[old_cls] -= 1
         effective = self._escalate(page_class, heat)
+        if effective != page_class:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "queue_escalation", pid=pid, vpn=vpn, heat=heat,
+                    from_class=page_class.name, to_class=effective.name,
+                )
+                tracer.metrics.counter("queue_escalations", page_class=page_class.name).inc()
         entry = _Entry(heat=heat)
         self._live[key] = (effective, entry)
         heapq.heappush(self._heaps[effective], (-heat, pid, vpn))
@@ -115,6 +125,17 @@ class PromotionQueues:
                 out.append(
                     QueuedPage(pid=pid, vpn=vpn, heat=entry.heat, page_class=cls, effective_class=cls)
                 )
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.emit(
+                        EventKind.QUEUE_PROMOTION,
+                        "queue_promotion",
+                        pid=pid,
+                        args={"vpn": vpn, "heat": entry.heat, "page_class": cls.name},
+                    )
+                    tracer.metrics.counter(
+                        "queue_promotions", workload=pid, page_class=cls.name
+                    ).inc()
             if len(out) >= budget:
                 break
         return out

@@ -32,6 +32,8 @@ from repro.mm import pte as pte_mod
 from repro.mm.address_space import AddressSpace, Process
 from repro.mm.frame_alloc import FrameAllocator
 from repro.mm.lru import LruSubsystem
+from repro.obs.events import EventKind
+from repro.obs.trace import get_tracer
 from repro.policies import POLICY_REGISTRY
 from repro.policies.base import TieringPolicy
 from repro.sim.config import MachineConfig, SimulationConfig
@@ -199,10 +201,28 @@ class ColocationExperiment:
     def run(self, n_epochs: int) -> ExperimentResult:
         result = ExperimentResult(policy_name=self.policy.name, n_epochs=n_epochs)
         pending = sorted(self.workload_defs, key=lambda w: w.spec.start_epoch)
+        tracer = get_tracer()
         for epoch in range(n_epochs):
             # 1. admissions
             while pending and pending[0].spec.start_epoch <= epoch:
                 self._admit(pending.pop(0), epoch)
+
+            # Anchor the trace clock to the epoch boundary: migration
+            # charges advance it within the epoch, deterministically.
+            if tracer.enabled:
+                tracer.set_time(epoch * self.epoch_cycles)
+                tracer.emit(
+                    EventKind.EPOCH,
+                    "epoch",
+                    args={
+                        "epoch": epoch,
+                        "policy": self.policy.name,
+                        "free_fast_pages": self.allocator.free_frames(0),
+                        "workloads": {
+                            str(pid): wl.name for pid, wl in self._active.items()
+                        },
+                    },
+                )
 
             # 2. traffic
             epoch_hits: dict[int, tuple[int, int]] = {}
@@ -228,7 +248,8 @@ class ColocationExperiment:
                 self.machine.fast.access_latency_cycles(utilization[0]),
                 self.machine.slow.access_latency_cycles(utilization[1]) + self.machine.link.added_latency_cycles,
             )
-            policy_result = self.policy.end_epoch()
+            with tracer.span("policy_epoch", epoch=epoch):
+                policy_result = self.policy.end_epoch()
             result.migration_cycles.append(policy_result.migration_cycles)
 
             # 4. record + performance

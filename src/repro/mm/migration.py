@@ -44,11 +44,15 @@ from repro.mm.migration_costs import MigrationCostModel
 from repro.mm.page import PageState
 from repro.mm.shadow import ShadowTracker
 from repro.mm.tlb_coherence import compute_scope, execute_shootdown
+from repro.obs.events import EventKind
+from repro.obs.trace import get_tracer
 
 
 class MigrationPhase(enum.Enum):
-    """The five phases of §2.1's migration mechanism."""
+    """The five phases of §2.1's migration mechanism, plus the batch-level
+    preparation (LRU drain + isolation) that precedes them."""
 
+    PREP = "prep"
     TRAP = "trap"
     UNMAP = "unmap"
     SHOOTDOWN = "shootdown"
@@ -144,8 +148,30 @@ class MigrationEngine:
         self.shadow = shadow
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = MigrationStats()
+        self._tracer = get_tracer()
 
     # -- phase helpers -------------------------------------------------------
+
+    def _charge(self, phase: MigrationPhase, cycles: float) -> None:
+        """Charge a phase cost and, when tracing, emit it as an event.
+
+        The tracer's cycle clock advances by the charge so phase events
+        and spans nest on the deterministic simulated timeline.
+        """
+        self.stats.charge(phase, cycles)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.MIGRATION_PHASE,
+                phase.value,
+                pid=self.space.process.pid,
+                dur=cycles,
+                args={"phase": phase.value, "cycles": cycles},
+            )
+            tracer.advance(cycles)
+            tracer.metrics.counter(
+                "migration_phase_cycles", workload=self.space.process.pid, phase=phase.value
+            ).inc(cycles)
 
     def _prepare(self, n_pages: int) -> float:
         """Phase 0: LRU drain + isolation (the Fig. 2 'preparation')."""
@@ -200,16 +226,16 @@ class MigrationEngine:
         ``migrate_pages()``."""
         if not requests:
             return []
-        self.stats.charge(MigrationPhase.TRAP, TRAP_CYCLES)
-        prep_cycles = self._prepare(len(requests))
-        self.stats.phase_cycles.setdefault("prep", 0.0)
-        self.stats.phase_cycles["prep"] += prep_cycles
-        self.stats.total_cycles += prep_cycles
+        with self._tracer.span(
+            "migrate_batch", pid=self.space.process.pid, pages=len(requests)
+        ):
+            self._charge(MigrationPhase.TRAP, TRAP_CYCLES)
+            self._charge(MigrationPhase.PREP, self._prepare(len(requests)))
 
-        outcomes: list[MigrationOutcome] = []
-        for req in requests:
-            outcomes.append(self._migrate_one(req))
-        self.stats.migrations += 1
+            outcomes: list[MigrationOutcome] = []
+            for req in requests:
+                outcomes.append(self._migrate_one(req))
+            self.stats.migrations += 1
         return outcomes
 
     def _migrate_one(self, req: MigrationRequest) -> MigrationOutcome:
@@ -252,12 +278,12 @@ class MigrationEngine:
 
     def _copy_sync(self, req: MigrationRequest, value: int, src_pfn: int, dest_pfn: int) -> MigrationOutcome:
         """Blocking copy: unmap → shootdown → copy → remap; the app stalls."""
-        self.stats.charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        self._charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
         tlb_cycles, _ = self._shootdown(req.vpn)
-        self.stats.charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
+        self._charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
         copy_cycles = self.costs.batch_copy_cycles(1)
-        self.stats.charge(MigrationPhase.COPY, copy_cycles)
-        self.stats.charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self._charge(MigrationPhase.COPY, copy_cycles)
+        self._charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
         # Everything after unmap is a stall for threads touching the page.
         self.stats.stall_cycles += tlb_cycles + copy_cycles
         return MigrationOutcome.SUCCESS
@@ -272,7 +298,7 @@ class MigrationEngine:
         outcome = MigrationOutcome.SUCCESS
         while True:
             src_page.dirty_since_copy = False
-            self.stats.charge(MigrationPhase.COPY, copy_cycles)
+            self._charge(MigrationPhase.COPY, copy_cycles)
             # Probability the page is written during this copy window.
             dirtied = self._dirtied_during(copy_cycles, req)
             if not dirtied and not src_page.dirty_since_copy:
@@ -287,10 +313,10 @@ class MigrationEngine:
                 return MigrationOutcome.FELL_BACK_SYNC
             outcome = MigrationOutcome.RETRIED
         # Commit: brief write-protect window, scoped shootdown, remap.
-        self.stats.charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        self._charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
         tlb_cycles, _ = self._shootdown(req.vpn)
-        self.stats.charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
-        self.stats.charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self._charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
+        self._charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
         # Only the commit window stalls the app.
         self.stats.stall_cycles += tlb_cycles
         src_page.state = PageState.MAPPED
@@ -315,10 +341,10 @@ class MigrationEngine:
         assert self.shadow is not None
         shadow_pfn = self.shadow.shadow_of(src_pfn)
         assert shadow_pfn is not None
-        self.stats.charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        self._charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
         tlb_cycles, _ = self._shootdown(req.vpn)
-        self.stats.charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
-        self.stats.charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self._charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
+        self._charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
         self.stats.stall_cycles += tlb_cycles
 
         repl = self.space.process.repl
@@ -385,3 +411,8 @@ class MigrationEngine:
             self.stats.promotions += 1
         else:
             self.stats.demotions += 1
+        self._tracer.metrics.counter(
+            "pages_moved",
+            workload=req.pid,
+            tier="fast" if req.dest_tier == 0 else "slow",
+        ).inc()

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 from repro.machine.cpu import CpuComplex
 from repro.mm.replication import ReplicatedPageTables
+from repro.obs.events import EventKind
+from repro.obs.trace import get_tracer
 
 
 @dataclass(frozen=True)
@@ -86,4 +88,20 @@ def execute_shootdown(cpu: CpuComplex, scope: ShootdownScope, *, initiator_core:
         cpu.core(core_id).tlb.invalidate(scope.vpn)
     if initiator_core is not None:
         cpu.core(initiator_core).tlb.invalidate(scope.vpn)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            EventKind.TLB_SHOOTDOWN,
+            "shootdown",
+            args={
+                "vpn": scope.vpn,
+                "n_targets": scope.n_targets,
+                "process_wide": scope.process_wide,
+                "ipi_cycles": cost,
+            },
+        )
+        tracer.metrics.histogram("shootdown_scope_cores").observe(scope.n_targets)
+        tracer.metrics.counter(
+            "shootdowns", scope="process_wide" if scope.process_wide else "scoped"
+        ).inc()
     return cost

@@ -1,0 +1,103 @@
+"""Typed trace events and the bounded ring buffer that holds them.
+
+Events are stamped with the *simulation* cycle clock (see
+:class:`repro.obs.trace.Tracer`), never wall clock, so the stream from a
+seeded run is deterministic.  The buffer is bounded: when full, the
+oldest events are overwritten and counted in :attr:`RingBuffer.dropped`
+— tracing a long run degrades to "most recent window" instead of
+unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class EventKind(str, enum.Enum):
+    """What a :class:`TraceEvent` describes."""
+
+    #: one migration phase charged (prep/trap/unmap/shootdown/copy/remap)
+    MIGRATION_PHASE = "migration_phase"
+    #: a TLB shootdown delivered, with its resolved scope
+    TLB_SHOOTDOWN = "tlb_shootdown"
+    #: CBFRP moved units from a donor's surplus to a borrower
+    CREDIT_GRANT = "credit_grant"
+    #: CBFRP expropriated units back from an over-GFMC BE task for an LC
+    CREDIT_RECLAIM = "credit_reclaim"
+    #: end-of-round CBFRP credit balance snapshot for one workload
+    CREDIT_BALANCE = "credit_balance"
+    #: a page served from the promotion queues (about to be promoted)
+    QUEUE_PROMOTION = "queue_promotion"
+    #: a page selected for demotion by the daemon
+    QUEUE_DEMOTION = "queue_demotion"
+    #: an epoch boundary in the harness loop
+    EPOCH = "epoch"
+    #: a named duration (``tracer.span``)
+    SPAN = "span"
+    #: a named point event (``tracer.instant``)
+    INSTANT = "instant"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observation.
+
+    ``ts`` is simulation cycles; ``dur`` (cycles) is non-zero only for
+    spans and phase charges.  ``pid`` is the owning workload when the
+    site knows it, ``args`` carries kind-specific detail (phase name,
+    shootdown scope, credit balances, ...).
+    """
+
+    kind: EventKind
+    name: str
+    ts: float
+    dur: float = 0.0
+    pid: int | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class RingBuffer:
+    """Fixed-capacity append-only event store with drop-oldest overflow."""
+
+    def __init__(self, capacity: int = 262_144) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: list[TraceEvent | None] = [None] * capacity
+        self._head = 0  # next write index
+        self._count = 0  # live events (<= capacity)
+        self.appended = 0  # lifetime appends
+        self.dropped = 0  # events overwritten by overflow
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, event: TraceEvent) -> None:
+        if self._count == self.capacity:
+            self.dropped += 1
+        else:
+            self._count += 1
+        self._slots[self._head] = event
+        self._head = (self._head + 1) % self.capacity
+        self.appended += 1
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        """Oldest → newest."""
+        start = (self._head - self._count) % self.capacity
+        for i in range(self._count):
+            ev = self._slots[(start + i) % self.capacity]
+            assert ev is not None
+            yield ev
+
+    def snapshot(self) -> list[TraceEvent]:
+        """The current contents as a list, oldest first."""
+        return list(self)
+
+    def clear(self) -> None:
+        self._slots = [None] * self.capacity
+        self._head = 0
+        self._count = 0
+        self.appended = 0
+        self.dropped = 0

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -43,3 +45,64 @@ def test_parser_requires_command():
 def test_run_rejects_unknown_mix():
     with pytest.raises(SystemExit):
         main(["run", "--mix", "bogus"])
+
+
+def test_run_json_output(capsys):
+    assert main([
+        "run", "--mix", "dilemma", "--policy", "none",
+        "--epochs", "3", "--accesses", "1000", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["policy"] == "none"
+    assert payload["mix"] == "dilemma"
+    assert "cfi" in payload
+    assert set(payload["workloads"]) == {"memcached", "liblinear"}
+    assert len(payload["workloads"]["memcached"]["ops"]) == 3
+
+
+def test_compare_json_output(capsys):
+    assert main([
+        "compare", "--policies", "none", "uniform",
+        "--mix", "dilemma", "--epochs", "3", "--accesses", "1000", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["fairness_cfi"]) == {"none", "uniform"}
+    assert set(payload["policies"]) == {"none", "uniform"}
+    assert "memcached" in payload["normalized_perf"]
+
+
+def test_run_trace_then_summarize(capsys, tmp_path):
+    from repro.obs.trace import get_tracer
+
+    trace_path = tmp_path / "t.json"
+    assert main([
+        "run", "--mix", "dilemma", "--policy", "vulcan",
+        "--epochs", "4", "--accesses", "1000", "--trace", str(trace_path),
+    ]) == 0
+    assert not get_tracer().enabled  # CLI turns tracing back off
+    capsys.readouterr()
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+
+    assert main(["trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "migration cycles by phase" in out
+    assert "TLB shootdown scope histogram" in out
+    assert "CBFRP credit timeline" in out
+
+
+def test_compare_trace_writes_per_policy_files(capsys, tmp_path):
+    trace_path = tmp_path / "c.json"
+    assert main([
+        "compare", "--policies", "tpp", "vulcan",
+        "--mix", "dilemma", "--epochs", "3", "--accesses", "800",
+        "--trace", str(trace_path),
+    ]) == 0
+    assert (tmp_path / "c.tpp.json").exists()
+    assert (tmp_path / "c.vulcan.json").exists()
+
+
+def test_trace_command_rejects_empty_file(tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == 1
