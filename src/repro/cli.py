@@ -27,20 +27,31 @@ Commands
         python -m repro run --policy vulcan --epochs 20 --trace /tmp/t.json
         python -m repro trace /tmp/t.json
 
-``run``/``compare`` also accept ``--json`` for machine-readable output
-instead of rendered tables.
+``sweep``
+    Sensitivity sweep over fast-tier sizes × seeds, optionally fanned
+    out across worker processes with an on-disk result cache::
+
+        python -m repro sweep --policy vulcan --fast-gb 8 16 32 --seeds 1 2 3 \\
+            --workers 4 --cache-dir /tmp/sweep-cache
+        python -m repro sweep --fast-gb 8 16 32 --seeds 1 2 3 \\
+            --cache-dir /tmp/sweep-cache --resume   # re-runs only missing cells
+
+``run``/``compare``/``sweep`` also accept ``--json`` for
+machine-readable output instead of rendered tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
-from repro.harness import ColocationExperiment
+from repro.harness import ColocationExperiment, Sweep
 from repro.harness.export import to_json
 from repro.metrics.fairness import cfi
 from repro.metrics.perf import normalize_to_min
@@ -49,7 +60,8 @@ from repro.mm.migration_costs import MigrationCostModel
 from repro.obs.export import read_trace, summarize, write_chrome_trace
 from repro.obs.trace import get_tracer
 from repro.policies import POLICY_REGISTRY
-from repro.sim.config import SimulationConfig
+from repro.sim.config import MachineConfig, SimulationConfig, TierConfig
+from repro.sim.units import GiB
 from repro.workloads.mixes import dilemma_pair, paper_colocation_mix
 
 WINDOW = 10
@@ -224,6 +236,112 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- sweep -----------------------------------------------------------------------
+
+def _sweep_cell(fast_gb: float, *, policy: str, mix: str, epochs: int, accesses: int, seed: int):
+    """One sweep cell: the chosen mix on a machine with ``fast_gb`` of
+    fast memory.  Module-level (not a closure) so worker processes can
+    import it under any multiprocessing start method."""
+    sim = SimulationConfig(epoch_seconds=2.0)
+    mc = MachineConfig()
+    mc = replace(mc, fast=TierConfig(
+        name="fast",
+        capacity_bytes=int(fast_gb * GiB),
+        load_latency_ns=mc.fast.load_latency_ns,
+        bandwidth_gbps=mc.fast.bandwidth_gbps,
+    ))
+    exp = ColocationExperiment(policy, _mix(mix, sim, accesses, seed), machine_config=mc, sim=sim, seed=seed)
+    return exp.run(epochs)
+
+
+def _sweep_mean_ops(result) -> float:
+    """Steady-window ops/epoch averaged across the co-located workloads."""
+    return float(np.mean([np.mean(ts.ops[-WINDOW:]) for ts in result.workloads.values()]))
+
+
+def _sweep_cfi(result) -> float:
+    """Steady-window FTHR-weighted CFI (Eq. 4)."""
+    alloc = {p: np.asarray(t.fast_pages[-WINDOW:], float) for p, t in result.workloads.items()}
+    fthr = {p: np.asarray(t.fthr_true[-WINDOW:], float) for p, t in result.workloads.items()}
+    return cfi(alloc, fthr)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.resume:
+        if cache_dir is None:
+            raise SystemExit("--resume needs --cache-dir (and not --no-cache)")
+        if not Path(cache_dir).is_dir():
+            raise SystemExit(f"--resume: cache dir {cache_dir} does not exist; nothing to resume")
+    factory = functools.partial(
+        _sweep_cell, policy=args.policy, mix=args.mix, epochs=args.epochs, accesses=args.accesses,
+    )
+    sweep = Sweep(
+        metrics={"mean_ops": _sweep_mean_ops, "cfi": _sweep_cfi},
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    cells = sweep.run(
+        factory,
+        grid={"fast_gb": args.fast_gb},
+        seeds=args.seeds,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        timeout=args.timeout,
+        derived_seeds=args.derive_seeds,
+        cache_extra={
+            "policy": args.policy, "mix": args.mix,
+            "epochs": args.epochs, "accesses": args.accesses,
+        },
+    )
+    if cache_dir is not None:
+        print(
+            f"cache: {sweep.cache_hits} restored, {sweep.cache_misses} computed",
+            file=sys.stderr,
+        )
+    for failure in sweep.errors:
+        print(
+            f"FAILED cell {dict(failure.params)} seed={failure.seed}: "
+            f"[{failure.kind}] {failure.error}: {failure.message}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps({
+            "policy": args.policy,
+            "mix": args.mix,
+            "epochs": args.epochs,
+            "seeds": args.seeds,
+            "workers": args.workers,
+            "cache": {"hits": sweep.cache_hits, "misses": sweep.cache_misses},
+            "cells": [
+                {
+                    "params": dict(c.params),
+                    "metrics": {m: {"mean": v[0], "ci95": v[1]} for m, v in c.metrics.items()},
+                    "failures": [
+                        {"seed": f.seed, "kind": f.kind, "error": f.error, "message": f.message}
+                        for f in c.failures
+                    ],
+                }
+                for c in cells
+            ],
+        }, indent=2))
+        return 1 if sweep.errors else 0
+    rows = []
+    for cell in cells:
+        mo, mo_ci = cell.metrics["mean_ops"]
+        fa, fa_ci = cell.metrics["cfi"]
+        rows.append([cell.param("fast_gb"), mo, mo_ci, fa, fa_ci, len(cell.failures)])
+    print(render_table(
+        ["fast_gb", "ops/epoch", "±ci95", "CFI", "±ci95", "failed"],
+        rows,
+        title=(
+            f"fast-tier sweep, policy={args.policy} mix={args.mix} "
+            f"epochs={args.epochs} seeds={args.seeds} workers={args.workers}"
+        ),
+        float_fmt="{:.3g}",
+    ))
+    return 1 if sweep.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -250,6 +368,29 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--trace", metavar="PATH", default=None,
                       help="capture one Chrome trace per policy (PATH gets a .<policy> infix)")
     comp.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="fast-tier-size sensitivity sweep (parallel + cached)")
+    sweep.add_argument("--policy", default="vulcan", choices=sorted(POLICY_REGISTRY))
+    sweep.add_argument("--mix", default="dilemma", choices=["paper", "dilemma"])
+    sweep.add_argument("--epochs", type=int, default=20)
+    sweep.add_argument("--accesses", type=int, default=5000, help="accesses per thread per epoch")
+    sweep.add_argument("--fast-gb", type=float, nargs="+", default=[8.0, 16.0, 32.0],
+                       help="fast-tier capacities (GiB) forming the grid")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes; 1 = serial in-process")
+    sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="on-disk result cache; completed cells are reused")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore the cache entirely (even with --cache-dir)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue an interrupted sweep from --cache-dir (errors if it doesn't exist)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock timeout in seconds (parallel mode)")
+    sweep.add_argument("--derive-seeds", action="store_true",
+                       help="decorrelate grid cells: factory seed = stable hash of (params, seed)")
+    sweep.add_argument("--json", action="store_true", help="emit machine-readable JSON instead of tables")
+    sweep.set_defaults(func=cmd_sweep)
 
     costs = sub.add_parser("costs", help="print the calibrated cost model")
     costs.add_argument("--cpus", type=int, nargs="+", default=[2, 4, 8, 16, 32])

@@ -7,7 +7,9 @@ from repro.harness.experiment import (
     WorkloadTimeseries,
 )
 
+from repro.harness.cache import ResultCache
 from repro.harness.export import to_json, to_rows, write_csv, write_json
+from repro.harness.parallel import CellFailure, SweepCellError, derive_cell_seed
 from repro.harness.sweeps import Sweep, SweepCell
 
 __all__ = [
@@ -16,6 +18,10 @@ __all__ = [
     "WorkloadTimeseries",
     "Sweep",
     "SweepCell",
+    "SweepCellError",
+    "CellFailure",
+    "ResultCache",
+    "derive_cell_seed",
     "to_rows",
     "to_json",
     "write_csv",

@@ -23,7 +23,7 @@ the figure benches can print exactly the series the paper plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -86,6 +86,19 @@ class WorkloadTimeseries:
         vals = self.ops[skip:]
         return float(np.mean(vals)) if vals else 0.0
 
+    def to_dict(self) -> dict:
+        """Lossless plain-data form (cross-process transport, caching).
+
+        Every field is an int/float/str or a flat list thereof, so the
+        round trip through pickle *or* JSON is exact: Python's JSON
+        encoder emits ``repr``-style shortest-round-trip floats.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadTimeseries":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
 
 @dataclass
 class ExperimentResult:
@@ -110,6 +123,30 @@ class ExperimentResult:
     def fthr_series(self) -> dict[int, np.ndarray]:
         """pid → ground-truth FTHR per active epoch (CFI's FTHR_i(t))."""
         return {pid: np.asarray(ts.fthr_true, dtype=np.float64) for pid, ts in self.workloads.items()}
+
+    def to_dict(self) -> dict:
+        """Lossless plain-data form for cross-process transport / caching.
+
+        Workloads are keyed by stringified pid (JSON object keys are
+        strings); :meth:`from_dict` restores the int keys.
+        """
+        return {
+            "policy_name": self.policy_name,
+            "n_epochs": self.n_epochs,
+            "free_fast_pages": list(self.free_fast_pages),
+            "migration_cycles": [float(c) for c in self.migration_cycles],
+            "workloads": {str(pid): ts.to_dict() for pid, ts in self.workloads.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        return cls(
+            policy_name=data["policy_name"],
+            n_epochs=data["n_epochs"],
+            workloads={int(pid): WorkloadTimeseries.from_dict(ts) for pid, ts in data["workloads"].items()},
+            free_fast_pages=list(data["free_fast_pages"]),
+            migration_cycles=list(data["migration_cycles"]),
+        )
 
 
 class ColocationExperiment:

@@ -1,0 +1,209 @@
+"""Property-based tests for CBFRP (Algorithm 1) invariants.
+
+Uses hypothesis when installed; otherwise falls back to seeded random
+scenario generation so the same invariants run everywhere.  Either way
+the core is :func:`check_invariants`, applied to randomized multi-round
+demand sequences with a persistent credit ledger:
+
+* **conservation** — credits are zero-sum across grants and reclaims;
+* **capacity** — Σ allocations never exceeds fast-tier capacity;
+* **no over-grant** — nobody is allocated beyond its demand;
+* **floor** — nobody is starved below ``min(demand, GFMC)``: donors
+  only give up *unused* share, and BE expropriation stops at GFMC;
+* **LC priority** — an unsatisfied LC borrower implies there was
+  nothing left to take (no donor surplus, no BE holding above GFMC);
+* **determinism** — identical inputs (including RNG seed and ledger
+  state) produce identical allocations and credit movements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cbfrp import INITIAL_CREDITS, CreditLedger, run_cbfrp
+from repro.core.classify import ServiceClass
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover — the seeded fallback runs instead
+    HAVE_HYPOTHESIS = False
+
+
+# -- scenario model --------------------------------------------------------------
+
+
+def make_scenario(
+    n: int, capacity: int, demand_rounds: list[list[int]], lc_mask: list[bool], rng_seed: int
+) -> dict:
+    pids = [100 + i for i in range(n)]
+    service = {
+        pid: ServiceClass.LC if lc else ServiceClass.BE for pid, lc in zip(pids, lc_mask)
+    }
+    return {
+        "pids": pids,
+        "capacity": capacity,
+        "service": service,
+        "rounds": [dict(zip(pids, row)) for row in demand_rounds],
+        "rng_seed": rng_seed,
+    }
+
+
+def random_scenario(rng: np.random.Generator) -> dict:
+    n = int(rng.integers(1, 9))
+    capacity = int(rng.integers(0, 513))
+    n_rounds = int(rng.integers(1, 6))
+    demand_rounds = [[int(d) for d in rng.integers(0, 257, size=n)] for _ in range(n_rounds)]
+    lc_mask = [bool(b) for b in rng.integers(0, 2, size=n)]
+    return make_scenario(n, capacity, demand_rounds, lc_mask, int(rng.integers(0, 2**16)))
+
+
+# -- the invariants --------------------------------------------------------------
+
+
+def check_invariants(scenario: dict) -> None:
+    ledger = CreditLedger()
+    for pid in scenario["pids"]:
+        ledger.ensure(pid)
+    rng = np.random.default_rng(scenario["rng_seed"])
+    credit_sum = sum(ledger.credits.values())
+    assert credit_sum == INITIAL_CREDITS * len(scenario["pids"])
+
+    for demands in scenario["rounds"]:
+        state = run_cbfrp(scenario["capacity"], demands, scenario["service"], ledger, rng=rng)
+        alloc = state.allocations
+        gfmc = state.gfmc_units
+
+        # conservation: every transfer is zero-sum.
+        assert sum(ledger.credits.values()) == credit_sum
+
+        # capacity: the partition never overcommits the fast tier.
+        assert sum(alloc.values()) <= scenario["capacity"]
+
+        for pid, demand in demands.items():
+            # no over-grant, and no starvation below the guaranteed floor.
+            assert 0 <= alloc[pid] <= demand
+            assert alloc[pid] >= min(demand, gfmc), (
+                f"pid {pid} starved: alloc={alloc[pid]} demand={demand} gfmc={gfmc}"
+            )
+
+        # LC priority: an unsatisfied LC borrower means the round ran
+        # completely dry — no donor surplus and no BE task above GFMC.
+        lc_unsatisfied = any(
+            alloc[pid] < demands[pid]
+            for pid, svc in scenario["service"].items()
+            if svc is ServiceClass.LC
+        )
+        if lc_unsatisfied:
+            # Undistributed donor surplus is exactly n*GFMC - Σalloc
+            # (grants conserve alloc+surplus; expropriation conserves
+            # alloc): it must be fully drained...
+            assert sum(alloc.values()) == gfmc * len(demands)
+            # ...and every BE task squeezed down to its guaranteed share.
+            assert all(
+                alloc[pid] <= gfmc
+                for pid, svc in scenario["service"].items()
+                if svc is ServiceClass.BE
+            )
+
+
+def check_determinism(scenario: dict) -> None:
+    outputs = []
+    for _ in range(2):
+        ledger = CreditLedger()
+        for pid in scenario["pids"]:
+            ledger.ensure(pid)
+        rng = np.random.default_rng(scenario["rng_seed"])
+        states = [
+            run_cbfrp(scenario["capacity"], demands, scenario["service"], ledger, rng=rng)
+            for demands in scenario["rounds"]
+        ]
+        outputs.append((
+            [s.allocations for s in states],
+            [s.transfers for s in states],
+            [s.expropriated for s in states],
+            dict(ledger.credits),
+        ))
+    assert outputs[0] == outputs[1]
+
+
+# -- drivers: hypothesis when present, seeded sweep otherwise --------------------
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def scenarios(draw):
+        n = draw(st.integers(min_value=1, max_value=8))
+        capacity = draw(st.integers(min_value=0, max_value=512))
+        n_rounds = draw(st.integers(min_value=1, max_value=5))
+        demand_rounds = [
+            draw(st.lists(st.integers(min_value=0, max_value=256), min_size=n, max_size=n))
+            for _ in range(n_rounds)
+        ]
+        lc_mask = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        rng_seed = draw(st.integers(min_value=0, max_value=2**16))
+        return make_scenario(n, capacity, demand_rounds, lc_mask, rng_seed)
+
+    @settings(max_examples=150, deadline=None)
+    @given(scenarios())
+    def test_invariants_property(scenario):
+        check_invariants(scenario)
+
+    @settings(max_examples=50, deadline=None)
+    @given(scenarios())
+    def test_determinism_property(scenario):
+        check_determinism(scenario)
+
+else:  # pragma: no cover — exercised only where hypothesis is absent
+
+    @pytest.mark.parametrize("case", range(150))
+    def test_invariants_property(case):
+        check_invariants(random_scenario(np.random.default_rng(case)))
+
+    @pytest.mark.parametrize("case", range(50))
+    def test_determinism_property(case):
+        check_determinism(random_scenario(np.random.default_rng(case)))
+
+
+def test_fallback_generator_shape():
+    """The seeded fallback produces valid scenarios even when hypothesis
+    is installed (keeps the no-hypothesis path from bit-rotting)."""
+    scenario = random_scenario(np.random.default_rng(7))
+    assert scenario["pids"]
+    assert len(scenario["rounds"]) >= 1
+    assert set(scenario["rounds"][0]) == set(scenario["pids"])
+    check_invariants(scenario)
+    check_determinism(scenario)
+
+
+# -- directed edges the random walk may miss -------------------------------------
+
+
+def test_zero_capacity_allocates_nothing():
+    ledger = CreditLedger()
+    state = run_cbfrp(0, {1: 10, 2: 5}, {1: ServiceClass.LC, 2: ServiceClass.BE}, ledger)
+    assert all(v == 0 for v in state.allocations.values())
+
+
+def test_single_workload_gets_min_of_demand_and_capacity():
+    ledger = CreditLedger()
+    state = run_cbfrp(100, {1: 40}, {1: ServiceClass.LC}, ledger)
+    assert state.allocations == {1: 40}
+    state = run_cbfrp(30, {1: 40}, {1: ServiceClass.BE}, ledger)
+    assert state.allocations == {1: 30}
+
+
+def test_lc_expropriates_be_above_gfmc():
+    """Directed lines 11-13 case: donors exhausted, BE above GFMC, LC short."""
+    ledger = CreditLedger()
+    service = {1: ServiceClass.LC, 2: ServiceClass.BE}
+    # Round 1: LC idle, BE hungry — BE borrows the LC's whole surplus.
+    state1 = run_cbfrp(20, {1: 0, 2: 20}, service, ledger)
+    assert state1.allocations[2] == 20
+    # Round 2: LC wakes up wanting everything; BE still demands all.
+    state2 = run_cbfrp(20, {1: 20, 2: 20}, service, ledger)
+    assert state2.allocations[1] >= 10  # at least its GFMC share back
+    assert state2.allocations[1] + state2.allocations[2] <= 20

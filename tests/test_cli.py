@@ -106,3 +106,61 @@ def test_trace_command_rejects_empty_file(tmp_path, capsys):
     empty = tmp_path / "empty.json"
     empty.write_text("")
     assert main(["trace", str(empty)]) == 1
+
+
+SWEEP_BASE = [
+    "sweep", "--policy", "none", "--mix", "dilemma",
+    "--epochs", "3", "--accesses", "800",
+    "--fast-gb", "4", "8", "--seeds", "1",
+]
+
+
+def test_sweep_command_table(capsys):
+    assert main(SWEEP_BASE) == 0
+    out = capsys.readouterr().out
+    assert "fast_gb" in out and "CFI" in out
+    assert "fast-tier sweep" in out
+
+
+def test_sweep_command_json_parallel(capsys):
+    assert main([*SWEEP_BASE, "--workers", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [c["params"]["fast_gb"] for c in payload["cells"]] == [4.0, 8.0]
+    for cell in payload["cells"]:
+        assert set(cell["metrics"]) == {"mean_ops", "cfi"}
+        assert cell["failures"] == []
+    assert payload["cache"] == {"hits": 0, "misses": 0}
+
+
+def test_sweep_cache_and_resume(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    assert main([*SWEEP_BASE, "--cache-dir", str(cache), "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["cache"] == {"hits": 0, "misses": 2}
+
+    # --resume against the warm cache re-runs zero cells...
+    assert main([*SWEEP_BASE, "--cache-dir", str(cache), "--resume", "--json"]) == 0
+    captured = capsys.readouterr()
+    second = json.loads(captured.out)
+    assert second["cache"] == {"hits": 2, "misses": 0}
+    assert "2 restored, 0 computed" in captured.err
+    # ...and reproduces the cold numbers exactly.
+    assert second["cells"] == first["cells"]
+
+
+def test_sweep_resume_requires_existing_cache(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main([*SWEEP_BASE, "--resume"])
+    with pytest.raises(SystemExit):
+        main([*SWEEP_BASE, "--cache-dir", str(tmp_path / "missing"), "--resume"])
+    with pytest.raises(SystemExit):
+        main([*SWEEP_BASE, "--cache-dir", str(tmp_path), "--no-cache", "--resume"])
+
+
+def test_sweep_no_cache_ignores_cache_dir(capsys, tmp_path):
+    assert main([*SWEEP_BASE, "--cache-dir", str(tmp_path / "c"), "--no-cache", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"] == {"hits": 0, "misses": 0}
+    assert not (tmp_path / "c").exists()

@@ -1,0 +1,104 @@
+"""End-to-end determinism: the whole stack, not just the obs layer.
+
+tests/obs/test_determinism.py proves tracing neither perturbs nor
+varies; this extends the guarantee to the experiment itself: two
+same-seed :class:`ColocationExperiment` runs — fresh machine, policy,
+workloads each time — must produce identical per-workload metrics
+(every recorded timeseries, exactly), identical experiment-level
+series, identical obs event streams, and identical metrics-registry
+contents.  This is the foundation the sweep cache and the serial ≡
+parallel differential guarantee stand on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ColocationExperiment
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.sim.config import SimulationConfig
+from repro.workloads.mixes import dilemma_pair, paper_colocation_mix
+
+#: every per-epoch series WorkloadTimeseries records
+SERIES_FIELDS = (
+    "epochs", "ops", "avg_access_cycles", "fast_pages", "rss_pages",
+    "fthr_true", "hot_pages", "hot_in_fast", "cold_in_fast",
+    "promotions", "demotions", "stall_cycles", "fthr_policy", "gpt", "quota",
+)
+
+
+def run_once(policy: str, mix_name: str, *, seed: int, epochs: int = 6):
+    sim = SimulationConfig(epoch_seconds=0.5)
+    if mix_name == "dilemma":
+        mix = dilemma_pair(sim, seed=seed, accesses_per_thread=1200)
+    else:
+        mix = paper_colocation_mix(sim, seed=seed, accesses_per_thread=800)
+    exp = ColocationExperiment(policy, mix, sim=sim, seed=seed)
+    return exp.run(epochs)
+
+
+def assert_results_identical(a, b) -> None:
+    assert a.policy_name == b.policy_name
+    assert a.n_epochs == b.n_epochs
+    assert a.free_fast_pages == b.free_fast_pages
+    assert a.migration_cycles == b.migration_cycles
+    assert set(a.workloads) == set(b.workloads)
+    for pid, ts_a in a.workloads.items():
+        ts_b = b.workloads[pid]
+        assert ts_a.name == ts_b.name
+        for field in SERIES_FIELDS:
+            assert getattr(ts_a, field) == getattr(ts_b, field), (
+                f"{ts_a.name}.{field} diverged between same-seed runs"
+            )
+
+
+@pytest.mark.parametrize("policy", ["vulcan", "memtis", "tpp"])
+def test_same_seed_runs_identical_metrics(policy):
+    first = run_once(policy, "dilemma", seed=11)
+    second = run_once(policy, "dilemma", seed=11)
+    assert_results_identical(first, second)
+
+
+def test_same_seed_identical_on_paper_mix():
+    first = run_once("vulcan", "paper", seed=3, epochs=4)
+    second = run_once("vulcan", "paper", seed=3, epochs=4)
+    assert_results_identical(first, second)
+
+
+def test_different_seeds_actually_differ():
+    """Guards against the vacuous pass where seeds are ignored."""
+    a = run_once("vulcan", "dilemma", seed=11)
+    b = run_once("vulcan", "dilemma", seed=12)
+    assert any(
+        a.workloads[pid].ops != b.workloads[pid].ops for pid in a.workloads
+    )
+
+
+def test_same_seed_runs_emit_identical_obs_state():
+    """Event streams *and* the metrics registry match event-for-event."""
+    tracer = get_tracer()
+    registry = get_registry()
+    try:
+        tracer.enable()
+        registry.enabled = True
+        registry.reset()
+        first = run_once("vulcan", "dilemma", seed=5)
+        events_first = tracer.events()
+        metrics_first = registry.collect()
+
+        tracer.enable()  # fresh buffer + clock
+        registry.reset()
+        second = run_once("vulcan", "dilemma", seed=5)
+        events_second = tracer.events()
+        metrics_second = registry.collect()
+    finally:
+        tracer.disable()
+        tracer.reset()
+        registry.enabled = False
+        registry.reset()
+    assert_results_identical(first, second)
+    assert len(events_first) == len(events_second) > 0
+    assert events_first == events_second
+    assert metrics_first == metrics_second
+    assert metrics_first["counters"]  # the run actually exercised instruments
