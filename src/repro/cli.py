@@ -27,6 +27,15 @@ Commands
         python -m repro run --policy vulcan --epochs 20 --trace /tmp/t.json
         python -m repro trace /tmp/t.json
 
+``bench``
+    Time the fixed Fig. 9 co-location scenario and write host-side
+    performance (wall time, epochs/sec, peak RSS) plus the simulated
+    steady-state metrics to ``BENCH_colocation.json``::
+
+        python -m repro bench                 # full scenario, 80 epochs
+        python -m repro bench --quick         # CI smoke variant
+        python -m repro bench --quick --check BENCH_baseline.json
+
 ``sweep``
     Sensitivity sweep over fast-tier sizes × seeds, optionally fanned
     out across worker processes with an on-disk result cache::
@@ -204,6 +213,26 @@ def cmd_compare(args: argparse.Namespace) -> int:
         [[p, fairness[p]] for p in args.policies],
         title="fairness (FTHR-weighted CFI, higher is better)",
     ))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import check_regression, run_bench
+
+    bench = run_bench(quick=args.quick)
+    payload = bench.to_dict()
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"{bench.epochs} epochs in {bench.wall_seconds:.2f}s "
+        f"({bench.epochs_per_sec:.2f} epochs/sec, peak RSS {bench.peak_rss_kb} kB)"
+    )
+    print(f"wrote {out}")
+    if args.check:
+        err = check_regression(payload, args.check, tolerance=args.tolerance)
+        if err is not None:
+            print(f"FAIL: {err}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -391,6 +420,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decorrelate grid cells: factory seed = stable hash of (params, seed)")
     sweep.add_argument("--json", action="store_true", help="emit machine-readable JSON instead of tables")
     sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser("bench", help="time the fixed Fig. 9 scenario (hot-path benchmark)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke variant: fewer epochs, fewer accesses per thread")
+    bench.add_argument("--output", metavar="PATH", default="BENCH_colocation.json",
+                       help="where to write the result JSON (default: repo root)")
+    bench.add_argument("--check", metavar="BASELINE", default=None,
+                       help="compare epochs/sec against a committed baseline JSON; "
+                            "exit 1 on regression beyond --tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional epochs/sec drop vs baseline (default 0.30)")
+    bench.set_defaults(func=cmd_bench)
 
     costs = sub.add_parser("costs", help="print the calibrated cost model")
     costs.add_argument("--cpus", type=int, nargs="+", default=[2, 4, 8, 16, 32])

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.classify import PageClass, classify_page
 from repro.core.queues import PromotionQueues
-from repro.mm import pte as pte_mod
 from repro.mm.frame_alloc import FrameAllocator
+from repro.mm.pte import PTE_SHARED_TID
 from repro.mm.replication import ReplicatedPageTables
 from repro.mm.shadow import ShadowTracker
 from repro.profiling.base import Profiler
@@ -92,23 +94,36 @@ class BiasedMigrationPolicy:
         Returns the number of candidates enqueued this round.
         """
         queues = self.queues_for(pid)
+        # Gather hot slow-tier pages in heat-insertion order (the order
+        # the old dict iteration enqueued them in — the queues' running
+        # class means depend on it).
+        vpns, heats = profiler.heat_view(pid)
+        if vpns.size == 0:
+            return 0
+        hot = heats >= self.hot_threshold
+        vpns, heats = vpns[hot], heats[hot]
+        if vpns.size == 0:
+            return 0
+        flat = repl.flat
+        idx = vpns - flat.base
+        in_range = (idx >= 0) & (idx < flat.pfn.size)
+        pfns = np.full(vpns.size, -1, dtype=np.int64)
+        owners = np.full(vpns.size, -1, dtype=np.int16)
+        pfns[in_range] = flat.pfn[idx[in_range]]
+        owners[in_range] = flat.owner[idx[in_range]]
+        slow = (pfns >= 0) & (pfns >= allocator.store.fast_frames)
+        if not slow.any():
+            return 0
+        wfs = profiler.write_fraction_many(pid, vpns)
+        private = owners != PTE_SHARED_TID
         enqueued = 0
-        for vpn, heat in profiler.hotness(pid).items():
-            if heat < self.hot_threshold:
-                continue
-            value = repl.lookup(vpn)
-            if value is None:
-                continue
-            pfn = pte_mod.pte_pfn(value)
-            if allocator.tier_of_pfn(pfn) != 1:
-                continue  # already fast
-            wf = profiler.write_fraction(pid, vpn)
+        for i in np.flatnonzero(slow).tolist():
             cls = classify_page(
-                private=repl.is_private(vpn),
-                write_fraction=wf,
+                private=bool(private[i]),
+                write_fraction=float(wfs[i]),
                 threshold=self.write_intensive_threshold,
             )
-            queues.enqueue(pid, vpn, heat, cls)
+            queues.enqueue(pid, int(vpns[i]), float(heats[i]), cls)
             enqueued += 1
         return enqueued
 
@@ -153,33 +168,32 @@ class BiasedMigrationPolicy:
         """
         if n_pages <= 0:
             return []
-        heat = profiler.hotness(pid)
-        skip = exclude or set()
-        candidates: list[tuple[float, int, int, bool]] = []  # (key, vpn, pfn, shadowed)
-        for vpn, value in repl.process_table.iter_ptes():
-            if vpn in skip:
-                continue
-            pfn = pte_mod.pte_pfn(value)
-            if allocator.tier_of_pfn(pfn) != 0:
-                continue
-            h = heat.get(vpn, 0.0)
-            shadowed = (
-                shadow is not None
-                and not pte_mod.pte_is_dirty(value)
-                and shadow.shadow_of(pfn) is not None
+        flat = repl.flat
+        vpns = flat.present_vpns()  # ascending — same order as the PTE walk
+        if vpns.size == 0:
+            return []
+        idx = flat.indices(vpns)
+        pfns = flat.pfn[idx]
+        keep = pfns < allocator.store.fast_frames  # fast-tier pages only
+        if exclude:
+            keep &= ~np.isin(vpns, np.fromiter(exclude, dtype=np.int64, count=len(exclude)))
+        vpns, pfns, idx = vpns[keep], pfns[keep], idx[keep]
+        if vpns.size == 0:
+            return []
+        h = profiler.heat_of(pid, vpns)
+        if shadow is not None:
+            shadowed = ~flat.dirty[idx] & shadow.shadowed_mask(pfns)
+        else:
+            shadowed = np.zeros(vpns.size, dtype=bool)
+        key = h * np.where(shadowed, 0.5, 1.0)
+        order = np.lexsort((vpns, key))[:n_pages]  # coldest first, vpn tiebreak
+        return [
+            PlannedMigration(
+                pid=pid,
+                vpn=int(vpns[i]),
+                dest_tier=1,
+                sync=True,  # demotions are off the hot path; shadow remap is cheap anyway
+                heat=float(h[i]),
             )
-            key = h * (0.5 if shadowed else 1.0)
-            candidates.append((key, vpn, pfn, shadowed))
-        candidates.sort(key=lambda t: (t[0], t[1]))
-        out: list[PlannedMigration] = []
-        for key, vpn, pfn, shadowed in candidates[:n_pages]:
-            out.append(
-                PlannedMigration(
-                    pid=pid,
-                    vpn=vpn,
-                    dest_tier=1,
-                    sync=True,  # demotions are off the hot path; shadow remap is cheap anyway
-                    heat=heat.get(vpn, 0.0),
-                )
-            )
-        return out
+            for i in order.tolist()
+        ]

@@ -116,15 +116,9 @@ class VulcanDaemon:
     # -- per-epoch tick ----------------------------------------------------------
 
     def _sync_usage(self) -> None:
-        """Pull ground-truth fast-tier usage from the page tables."""
-        from repro.mm import pte as pte_mod
-
-        for pid, handle in self.workloads.items():
-            used = 0
-            for _vpn, value in handle.space.process.repl.process_table.iter_ptes():
-                if self.allocator.tier_of_pfn(pte_mod.pte_pfn(value)) == 0:
-                    used += 1
-            self.partition.set_usage(pid, used)
+        """Pull ground-truth fast-tier usage from the frame store."""
+        for pid in self.workloads:
+            self.partition.set_usage(pid, self.allocator.store.fast_usage(pid))
 
     def tick(self, migrate: bool = True) -> EpochReport:
         """Run one management epoch (steps 1-5 of the module docstring).
@@ -148,11 +142,7 @@ class VulcanDaemon:
         self._sync_usage()
         allocs = {pid: self.partition.usage.get(pid, 0) for pid in self.workloads}
         hot_sets = {
-            pid: sum(
-                1
-                for heat in handle.profiler.hotness(pid).values()
-                if heat >= self.policy.hot_threshold
-            )
+            pid: handle.profiler.hot_count(pid, self.policy.hot_threshold)
             for pid, handle in self.workloads.items()
         }
         lc_map = {
@@ -298,11 +288,4 @@ class VulcanDaemon:
 
     def _post_move_accounting(self, handle: WorkloadHandle, plan: MigrationPlan) -> None:
         """Refresh partition usage after the engine moved pages."""
-        from repro.mm import pte as pte_mod
-
-        pid = handle.pid
-        used = 0
-        for _vpn, value in handle.space.process.repl.process_table.iter_ptes():
-            if self.allocator.tier_of_pfn(pte_mod.pte_pfn(value)) == 0:
-                used += 1
-        self.partition.set_usage(pid, used)
+        self.partition.set_usage(handle.pid, self.allocator.store.fast_usage(handle.pid))

@@ -1,0 +1,147 @@
+"""``repro bench`` — wall-clock benchmark of the simulator hot path.
+
+Runs the fixed Fig. 9 co-location scenario (vulcan policy, paper mix,
+seed 1) and reports *host-side* performance — wall time, epochs/sec,
+peak RSS — alongside a few simulated metrics so a result file also
+documents what the run computed.  The scenario is pinned so numbers are
+comparable across commits; ``BENCH_baseline.json`` at the repo root
+records the reference epochs/sec the CI smoke job regresses against.
+
+The simulated metrics are deterministic for a given (scenario, seed);
+only the timing fields vary run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.harness.experiment import ColocationExperiment, ExperimentResult
+from repro.metrics.fairness import cfi
+from repro.sim.config import SimulationConfig
+from repro.workloads.mixes import paper_colocation_mix
+
+#: the pinned Fig. 9 scenario
+POLICY = "vulcan"
+MIX = "paper"
+SEED = 1
+EPOCHS = 80
+ACCESSES_PER_THREAD = 5000
+#: ``--quick`` variant for CI smoke runs (same shape, ~10× cheaper)
+QUICK_EPOCHS = 12
+QUICK_ACCESSES_PER_THREAD = 2000
+#: steady-state window for the simulated metrics
+WINDOW = 10
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark run, ready to serialize."""
+
+    epochs: int
+    accesses_per_thread: int
+    wall_seconds: float
+    epochs_per_sec: float
+    peak_rss_kb: int
+    result: ExperimentResult
+
+    def to_dict(self) -> dict:
+        alloc = {
+            p: np.asarray(t.fast_pages[-WINDOW:], float)
+            for p, t in self.result.workloads.items()
+        }
+        fthr = {
+            p: np.asarray(t.fthr_true[-WINDOW:], float)
+            for p, t in self.result.workloads.items()
+        }
+        return {
+            "scenario": {
+                "policy": POLICY,
+                "mix": MIX,
+                "seed": SEED,
+                "epochs": self.epochs,
+                "accesses_per_thread": self.accesses_per_thread,
+            },
+            "host": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+            "timing": {
+                "wall_seconds": round(self.wall_seconds, 3),
+                "epochs_per_sec": round(self.epochs_per_sec, 3),
+                "peak_rss_kb": self.peak_rss_kb,
+            },
+            "simulated": {
+                "cfi": cfi(alloc, fthr),
+                "workloads": {
+                    ts.name: {
+                        "mean_ops": float(np.mean(ts.ops[-WINDOW:])),
+                        "mean_fthr": float(np.mean(ts.fthr_true[-WINDOW:])),
+                        "fast_pages": ts.fast_pages[-1],
+                    }
+                    for ts in self.result.workloads.values()
+                },
+            },
+        }
+
+
+def run_bench(*, quick: bool = False) -> BenchResult:
+    """Run the pinned scenario once and time it."""
+    epochs = QUICK_EPOCHS if quick else EPOCHS
+    apt = QUICK_ACCESSES_PER_THREAD if quick else ACCESSES_PER_THREAD
+    sim = SimulationConfig(epoch_seconds=2.0)
+    exp = ColocationExperiment(
+        POLICY, paper_colocation_mix(sim, seed=SEED, accesses_per_thread=apt),
+        sim=sim, seed=SEED,
+    )
+    t0 = time.perf_counter()
+    res = exp.run(epochs)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        epochs=epochs,
+        accesses_per_thread=apt,
+        wall_seconds=wall,
+        epochs_per_sec=epochs / wall,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        result=res,
+    )
+
+
+def check_regression(payload: dict, baseline_path: str, *, tolerance: float = 0.30) -> str | None:
+    """Compare a bench payload against a committed baseline file.
+
+    Returns an error message when epochs/sec dropped more than
+    ``tolerance`` below the baseline, or ``None`` when within bounds.
+    A missing or malformed baseline is reported as an error too — a CI
+    job silently skipping its own check is worse than a red run.
+    """
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        ref = float(baseline["timing"]["epochs_per_sec"])
+        ref_scenario = baseline["scenario"]
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        return f"cannot read baseline {baseline_path}: {exc}"
+    if ref_scenario != payload["scenario"]:
+        return (
+            f"baseline scenario mismatch: {ref_scenario} vs {payload['scenario']} "
+            "(quick baselines only compare against --quick runs)"
+        )
+    got = float(payload["timing"]["epochs_per_sec"])
+    floor = ref * (1.0 - tolerance)
+    if got < floor:
+        return (
+            f"epochs/sec regressed: {got:.3f} < {floor:.3f} "
+            f"(baseline {ref:.3f} - {tolerance:.0%})"
+        )
+    print(
+        f"epochs/sec {got:.3f} vs baseline {ref:.3f} (floor {floor:.3f}): ok",
+        file=sys.stderr,
+    )
+    return None

@@ -28,7 +28,6 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from repro.machine.platform import Machine
-from repro.mm import pte as pte_mod
 from repro.mm.address_space import AddressSpace, Process
 from repro.mm.frame_alloc import FrameAllocator
 from repro.mm.lru import LruSubsystem
@@ -374,23 +373,10 @@ class ColocationExperiment:
 
     def _ground_truth_hotness(self, pid: int) -> tuple[int, int, int, int]:
         """(hot pages, hot∧fast, cold∧fast, fast pages) from frame counters."""
-        space = self._spaces[pid]
-        hot = hot_fast = cold_fast = fast = 0
-        for _vpn, value in space.process.repl.process_table.iter_ptes():
-            pfn = pte_mod.pte_pfn(value)
-            page = self.allocator.page(pfn)
-            in_fast = self.allocator.tier_of_pfn(pfn) == 0
-            is_hot = (page.epoch_reads + page.epoch_writes) >= HOT_ACCESS_CUT
-            if in_fast:
-                fast += 1
-            if is_hot:
-                hot += 1
-                if in_fast:
-                    hot_fast += 1
-            elif in_fast:
-                cold_fast += 1
-        return (hot, hot_fast, cold_fast, fast)
+        return self.allocator.store.ground_truth_hotness(pid, HOT_ACCESS_CUT)
 
     def _reset_page_epoch_counters(self) -> None:
-        for page in self.allocator.mapped_pages():
-            page.reset_epoch_counters()
+        # Touched-pfn reset: only frames accessed (or written to by a
+        # migration) since the last reset are visited; idle pages cost
+        # nothing.
+        self.allocator.store.reset_epoch_counters()

@@ -173,23 +173,25 @@ class AddressSpace:
         writes_per = np.bincount(inverse, weights=is_write.astype(np.float64)).astype(np.int64)
         total_per = np.bincount(inverse)
         repl = self.process.repl
-        allocator = self.allocator
-        fast = 0
-        slow = 0
-        for u_vpn, n_total, n_writes in zip(uniq.tolist(), total_per.tolist(), writes_per.tolist()):
-            value = repl.lookup(u_vpn)
-            if value is None:
-                raise KeyError(f"vpn {u_vpn} not mapped; populate() the VMA first")
-            if repl.note_access(u_vpn, tid):
-                self.minor_faults += 1
-            page = allocator.page(pte_mod.pte_pfn(value))
-            n_reads = n_total - n_writes
-            if n_reads:
-                page.record_access(False, tid=tid, cycle=cycle, count=n_reads)
-            if n_writes:
-                page.record_access(True, tid=tid, cycle=cycle, count=n_writes)
-            if page.tier_id == 0:
-                fast += n_total
-            else:
-                slow += n_total
+        flat = repl.flat
+        # Translate the whole batch through the flat PTE mirror.
+        idx = uniq - flat.base
+        oob = (idx < 0) | (idx >= flat.pfn.size)
+        if oob.any():
+            bad = int(uniq[oob][0])
+            raise KeyError(f"vpn {bad} not mapped; populate() the VMA first")
+        pfns = flat.pfn[idx]
+        missing = pfns < 0
+        if missing.any():
+            bad = int(uniq[missing][0])
+            raise KeyError(f"vpn {bad} not mapped; populate() the VMA first")
+        # Sharing transitions / leaf links (rare after warm-up).
+        self.minor_faults += repl.bulk_note_access(uniq, tid)
+        # Frame counters in one vectorized pass (pfns are unique: the
+        # simulator maps private anonymous memory, one frame per vpn).
+        reads_per = total_per - writes_per
+        self.allocator.store.record_batch(pfns, reads_per, writes_per, tid, cycle)
+        in_fast = pfns < self.allocator.store.fast_frames
+        fast = int(total_per[in_fast].sum())
+        slow = int(total_per.sum()) - fast
         return (fast, slow)

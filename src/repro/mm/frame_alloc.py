@@ -16,7 +16,10 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.mm.page import PageState, PhysPage
+from repro.mm.page_store import STATE_MAPPED, STATE_MIGRATING, PageStatsStore
 
 
 class OutOfFramesError(RuntimeError):
@@ -84,6 +87,9 @@ class FrameAllocator:
                        high_watermark_frac=high_watermark_frac),
         ]
         self._fast_frames = fast_frames
+        #: authoritative per-frame state (PhysPage objects are views)
+        self.store = PageStatsStore(fast_frames + slow_frames, fast_frames)
+        self.store.in_free_list[:] = True
         self._pages: dict[int, PhysPage] = {}
 
     def tier_of_pfn(self, pfn: int) -> int:
@@ -110,9 +116,10 @@ class FrameAllocator:
             else:
                 raise OutOfFramesError(f"tier {tier_id} has no free frames")
         pfn = tier.free_list.popleft()
+        self.store.in_free_list[pfn] = False
         page = self._pages.get(pfn)
         if page is None:
-            page = PhysPage(pfn=pfn, tier_id=tier.tier_id)
+            page = PhysPage(pfn=pfn, store=self.store)
             self._pages[pfn] = page
         page.tier_id = tier.tier_id
         page.state = PageState.FREE  # caller attaches
@@ -124,10 +131,11 @@ class FrameAllocator:
         if page is None:
             raise ValueError(f"pfn {pfn} was never allocated")
         tier = self.tiers[self.tier_of_pfn(pfn)]
-        if pfn in tier.free_list:
+        if self.store.in_free_list[pfn]:
             raise ValueError(f"double free of pfn {pfn}")
         page.detach()
         tier.free_list.append(pfn)
+        self.store.in_free_list[pfn] = True
 
     def free_frames(self, tier_id: int) -> int:
         return self.tiers[tier_id].free
@@ -137,7 +145,9 @@ class FrameAllocator:
 
     def mapped_pages(self, tier_id: int | None = None):
         """Iterate live (mapped or migrating) frames, optionally by tier."""
-        for page in self._pages.values():
-            if page.state in (PageState.MAPPED, PageState.MIGRATING):
-                if tier_id is None or page.tier_id == tier_id:
-                    yield page
+        st = self.store.state
+        live = (st == STATE_MAPPED) | (st == STATE_MIGRATING)
+        if tier_id is not None:
+            live &= self.store.tier_id == tier_id
+        for pfn in np.flatnonzero(live).tolist():
+            yield self._pages[pfn]

@@ -4,12 +4,23 @@ One :class:`PhysPage` exists per physical frame the simulator has handed
 out.  It carries the reverse mapping (which process/vpn maps it), access
 statistics the profilers summarize, and migration bookkeeping (shadow
 links, in-flight transactional copies).
+
+Since the struct-of-arrays refactor the *data* lives in
+:class:`repro.mm.page_store.PageStatsStore`; a PhysPage is a thin view
+over one store row ("objects are views, arrays are truth").  Scalar
+reads and writes go through properties so existing object-at-a-time
+code — tests, the migration engine's per-page bookkeeping — keeps
+working unchanged, while hot paths bypass the views entirely and
+operate on the arrays.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mm.page_store import NONE_SENTINEL, PageStatsStore
 
 
 class PageState(enum.Enum):
@@ -21,12 +32,16 @@ class PageState(enum.Enum):
     SHADOW = "shadow"  # retained slow-tier copy of a promoted page
 
 
-@dataclass
-class PhysPage:
-    """Metadata for one physical frame.
+#: enum ↔ int8 store code (index == code, see page_store.STATE_*)
+_STATE_BY_CODE = (PageState.FREE, PageState.MAPPED, PageState.MIGRATING, PageState.SHADOW)
+_CODE_BY_STATE = {s: i for i, s in enumerate(_STATE_BY_CODE)}
 
-    Attributes
-    ----------
+
+class PhysPage:
+    """View over one :class:`PageStatsStore` row.
+
+    Attributes (all backed by store arrays)
+    ---------------------------------------
     pfn:
         Global physical frame number (tier encoded by the allocator).
     tier_id:
@@ -51,20 +66,167 @@ class PhysPage:
         the async engine uses it to detect failed transactions.
     """
 
-    pfn: int
-    tier_id: int
-    state: PageState = PageState.FREE
-    pid: int | None = None
-    vpn: int | None = None
-    reads: int = 0
-    writes: int = 0
-    heat: float = 0.0
-    last_access_cycle: int = 0
-    shadow_pfn: int | None = None
-    dirty_since_copy: bool = False
-    epoch_reads: int = 0
-    epoch_writes: int = 0
-    accessing_tids: set[int] = field(default_factory=set)
+    __slots__ = ("_store", "_row", "pfn")
+
+    def __init__(
+        self,
+        pfn: int,
+        tier_id: int | None = None,
+        state: PageState = PageState.FREE,
+        *,
+        store: PageStatsStore | None = None,
+        row: int | None = None,
+    ) -> None:
+        if store is None:
+            # Standalone page (unit tests, ad-hoc construction): a
+            # private single-row store keeps the view semantics intact.
+            store = PageStatsStore(n_frames=1, fast_frames=1)
+            row = 0
+            if tier_id is not None:
+                store.tier_id[0] = tier_id
+        elif row is None:
+            row = pfn
+        self._store = store
+        self._row = row
+        self.pfn = pfn
+        if tier_id is not None:
+            store.tier_id[row] = tier_id
+        if state is not PageState.FREE:
+            store.state[row] = _CODE_BY_STATE[state]
+
+    # -- store-backed attributes -----------------------------------------
+
+    @property
+    def tier_id(self) -> int:
+        return int(self._store.tier_id[self._row])
+
+    @tier_id.setter
+    def tier_id(self, value: int) -> None:
+        self._store.tier_id[self._row] = value
+
+    @property
+    def state(self) -> PageState:
+        return _STATE_BY_CODE[int(self._store.state[self._row])]
+
+    @state.setter
+    def state(self, value: PageState) -> None:
+        self._store.state[self._row] = _CODE_BY_STATE[value]
+
+    @property
+    def pid(self) -> int | None:
+        v = int(self._store.pid[self._row])
+        return None if v == NONE_SENTINEL else v
+
+    @pid.setter
+    def pid(self, value: int | None) -> None:
+        self._store.pid[self._row] = NONE_SENTINEL if value is None else value
+
+    @property
+    def vpn(self) -> int | None:
+        v = int(self._store.vpn[self._row])
+        return None if v == NONE_SENTINEL else v
+
+    @vpn.setter
+    def vpn(self, value: int | None) -> None:
+        self._store.vpn[self._row] = NONE_SENTINEL if value is None else value
+
+    @property
+    def reads(self) -> int:
+        return int(self._store.reads[self._row])
+
+    @reads.setter
+    def reads(self, value: int) -> None:
+        self._store.reads[self._row] = value
+
+    @property
+    def writes(self) -> int:
+        return int(self._store.writes[self._row])
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self._store.writes[self._row] = value
+
+    @property
+    def heat(self) -> float:
+        return float(self._store.heat[self._row])
+
+    @heat.setter
+    def heat(self, value: float) -> None:
+        self._store.heat[self._row] = value
+
+    @property
+    def last_access_cycle(self) -> int:
+        return int(self._store.last_access_cycle[self._row])
+
+    @last_access_cycle.setter
+    def last_access_cycle(self, value: int) -> None:
+        self._store.last_access_cycle[self._row] = value
+
+    @property
+    def shadow_pfn(self) -> int | None:
+        v = int(self._store.shadow_pfn[self._row])
+        return None if v == NONE_SENTINEL else v
+
+    @shadow_pfn.setter
+    def shadow_pfn(self, value: int | None) -> None:
+        self._store.shadow_pfn[self._row] = NONE_SENTINEL if value is None else value
+
+    @property
+    def dirty_since_copy(self) -> bool:
+        return bool(self._store.dirty_since_copy[self._row])
+
+    @dirty_since_copy.setter
+    def dirty_since_copy(self, value: bool) -> None:
+        self._store.dirty_since_copy[self._row] = value
+
+    @property
+    def epoch_reads(self) -> int:
+        return int(self._store.epoch_reads[self._row])
+
+    @epoch_reads.setter
+    def epoch_reads(self, value: int) -> None:
+        self._store.epoch_reads[self._row] = value
+        if value:
+            self._store.touched[self._row] = True
+
+    @property
+    def epoch_writes(self) -> int:
+        return int(self._store.epoch_writes[self._row])
+
+    @epoch_writes.setter
+    def epoch_writes(self, value: int) -> None:
+        self._store.epoch_writes[self._row] = value
+        if value:
+            self._store.touched[self._row] = True
+
+    @property
+    def accessing_tids(self) -> set[int]:
+        """Threads that touched this frame (reconstructed from bitmask)."""
+        tids: set[int] = set()
+        lo = int(self._store.tids_lo[self._row])
+        hi = int(self._store.tids_hi[self._row])
+        while lo:
+            bit = lo & -lo
+            tids.add(bit.bit_length() - 1)
+            lo ^= bit
+        while hi:
+            bit = hi & -hi
+            tids.add(64 + bit.bit_length() - 1)
+            hi ^= bit
+        return tids
+
+    @accessing_tids.setter
+    def accessing_tids(self, tids: set[int]) -> None:
+        lo = hi = 0
+        for tid in tids:
+            if tid < 64:
+                lo |= 1 << tid
+            else:
+                hi |= 1 << (tid - 64)
+        self._store.tids_lo[self._row] = lo
+        self._store.tids_hi[self._row] = hi
+
+    # -- derived ---------------------------------------------------------
 
     @property
     def total_accesses(self) -> int:
@@ -76,23 +238,32 @@ class PhysPage:
         total = self.total_accesses
         return self.writes / total if total else 0.0
 
+    # -- mutations -------------------------------------------------------
+
     def record_access(self, is_write: bool, tid: int, cycle: int, count: int = 1) -> None:
         """Account ``count`` accesses by thread ``tid`` at ``cycle``."""
+        s, r = self._store, self._row
         if is_write:
-            self.writes += count
-            self.epoch_writes += count
-            if self.state is PageState.MIGRATING:
-                self.dirty_since_copy = True
+            s.writes[r] += count
+            s.epoch_writes[r] += count
+            if s.state[r] == _CODE_BY_STATE[PageState.MIGRATING]:
+                s.dirty_since_copy[r] = True
         else:
-            self.reads += count
-            self.epoch_reads += count
-        self.last_access_cycle = cycle
-        self.accessing_tids.add(tid)
+            s.reads[r] += count
+            s.epoch_reads[r] += count
+        s.last_access_cycle[r] = cycle
+        if tid < 64:
+            s.tids_lo[r] |= np.uint64(1 << tid)
+        else:
+            s.tids_hi[r] |= np.uint64(1 << (tid - 64))
+        s.touched[r] = True
 
     def reset_epoch_counters(self) -> None:
         """Start a fresh profiling epoch (heat is decayed elsewhere)."""
-        self.epoch_reads = 0
-        self.epoch_writes = 0
+        s, r = self._store, self._row
+        s.epoch_reads[r] = 0
+        s.epoch_writes[r] = 0
+        s.touched[r] = False
 
     def attach(self, pid: int, vpn: int) -> None:
         """Bind this frame to a virtual page (allocator → address space)."""
@@ -104,14 +275,11 @@ class PhysPage:
 
     def detach(self) -> None:
         """Unbind and reset per-mapping statistics."""
-        self.pid = None
-        self.vpn = None
-        self.state = PageState.FREE
-        self.reads = 0
-        self.writes = 0
-        self.heat = 0.0
-        self.epoch_reads = 0
-        self.epoch_writes = 0
-        self.shadow_pfn = None
-        self.dirty_since_copy = False
-        self.accessing_tids.clear()
+        self._store.detach_row(self._row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhysPage(pfn={self.pfn}, tier={self.tier_id}, state={self.state.value}, "
+            f"pid={self.pid}, vpn={self.vpn}, reads={self.reads}, writes={self.writes})"
+        )
+

@@ -1,0 +1,180 @@
+"""Struct-of-arrays store for per-frame state (DESIGN.md §3).
+
+All per-page truth — tier, lifecycle state, reverse map, access
+counters, migration bookkeeping — lives here as parallel numpy arrays
+indexed by PFN.  :class:`~repro.mm.page.PhysPage` objects are thin
+*views* over one row; the arrays are authoritative.  That inversion is
+what lets the hot path (per-epoch counter updates, ground-truth hot/cold
+accounting, candidate gathering) run as vectorized reductions instead of
+object-at-a-time Python loops.
+
+Bit-for-bit equivalence with the old object layout is part of the
+contract: every scalar read through a view returns exactly the value the
+old dataclass would have held, and all vectorized updates perform the
+same elementwise arithmetic the old per-page loops did.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Integer lifecycle codes (mirrors repro.mm.page.PageState; kept as raw
+# ints here so the store has no import cycle with the view class).
+STATE_FREE = 0
+STATE_MAPPED = 1
+STATE_MIGRATING = 2
+STATE_SHADOW = 3
+
+#: pid/vpn/shadow "absent" sentinel (real pids/vpns are non-negative).
+NONE_SENTINEL = -1
+
+
+class PageStatsStore:
+    """Parallel per-frame arrays indexed by PFN.
+
+    Parameters
+    ----------
+    n_frames:
+        Total number of physical frames (fast + slow).
+    fast_frames:
+        Size of the fast tier; PFNs ``[0, fast_frames)`` are tier 0 and
+        the rest tier 1 (the allocator's contiguous partitioning).
+    """
+
+    def __init__(self, n_frames: int, fast_frames: int) -> None:
+        if n_frames <= 0:
+            raise ValueError("store needs at least one frame")
+        self.n_frames = n_frames
+        self.fast_frames = fast_frames
+        self.tier_id = np.where(
+            np.arange(n_frames, dtype=np.int64) < fast_frames, 0, 1
+        ).astype(np.int8)
+        self.state = np.full(n_frames, STATE_FREE, dtype=np.int8)
+        self.pid = np.full(n_frames, NONE_SENTINEL, dtype=np.int64)
+        self.vpn = np.full(n_frames, NONE_SENTINEL, dtype=np.int64)
+        self.reads = np.zeros(n_frames, dtype=np.int64)
+        self.writes = np.zeros(n_frames, dtype=np.int64)
+        self.epoch_reads = np.zeros(n_frames, dtype=np.int64)
+        self.epoch_writes = np.zeros(n_frames, dtype=np.int64)
+        self.heat = np.zeros(n_frames, dtype=np.float64)
+        self.last_access_cycle = np.zeros(n_frames, dtype=np.int64)
+        self.shadow_pfn = np.full(n_frames, NONE_SENTINEL, dtype=np.int64)
+        self.dirty_since_copy = np.zeros(n_frames, dtype=bool)
+        # accessing-tid bitmask: word 0 covers tids 0..63, word 1 covers
+        # 64..127 (PTE tid space is 7 bits).
+        self.tids_lo = np.zeros(n_frames, dtype=np.uint64)
+        self.tids_hi = np.zeros(n_frames, dtype=np.uint64)
+        #: frames whose epoch counters may be nonzero (touched-set reset)
+        self.touched = np.zeros(n_frames, dtype=bool)
+        #: O(1) double-free detection (replaces deque membership scans)
+        self.in_free_list = np.zeros(n_frames, dtype=bool)
+
+    # -- vectorized hot-path updates -------------------------------------
+
+    def record_batch(
+        self,
+        pfns: np.ndarray,
+        n_reads: np.ndarray,
+        n_writes: np.ndarray,
+        tid: int,
+        cycle: int,
+    ) -> None:
+        """Account per-frame access counts for one thread's batch.
+
+        ``pfns`` must be unique (one row per frame); counts are added
+        with plain fancy-indexed ``+=`` which is exact for unique rows.
+        """
+        self.reads[pfns] += n_reads
+        self.writes[pfns] += n_writes
+        self.epoch_reads[pfns] += n_reads
+        self.epoch_writes[pfns] += n_writes
+        self.last_access_cycle[pfns] = cycle
+        if tid < 64:
+            self.tids_lo[pfns] |= np.uint64(1 << tid)
+        else:
+            self.tids_hi[pfns] |= np.uint64(1 << (tid - 64))
+        self.touched[pfns] = True
+        # Writes landing while a transactional copy is in flight dirty
+        # the source frame (same rule as PhysPage.record_access).
+        migrating = (self.state[pfns] == STATE_MIGRATING) & (n_writes > 0)
+        if migrating.any():
+            self.dirty_since_copy[pfns[migrating]] = True
+
+    def reset_epoch_counters(self) -> None:
+        """Zero epoch counters on touched live frames (idle frames free).
+
+        Matches the old full-table walk exactly: only MAPPED/MIGRATING
+        frames are cleared — SHADOW frames keep their counters (they are
+        invisible to the PTE walk until remapped) and stay in the
+        touched set so a later remap still gets them reset.
+        """
+        idx = np.flatnonzero(self.touched)
+        if idx.size == 0:
+            return
+        st = self.state[idx]
+        clearable = idx[(st == STATE_MAPPED) | (st == STATE_MIGRATING)]
+        self.epoch_reads[clearable] = 0
+        self.epoch_writes[clearable] = 0
+        self.touched[clearable] = False
+
+    # -- vectorized queries ----------------------------------------------
+
+    def frames_of_pid(self, pid: int) -> np.ndarray:
+        """PFNs mapped (or mid-migration) by ``pid``, ascending.
+
+        Equivalent to walking the process page table: SHADOW frames keep
+        their (pid, vpn) reverse map but their PTEs point at the
+        promoted copy, so they are excluded here.
+        """
+        live = (self.state == STATE_MAPPED) | (self.state == STATE_MIGRATING)
+        return np.flatnonzero(live & (self.pid == pid))
+
+    def fast_usage(self, pid: int) -> int:
+        """How many fast-tier frames ``pid`` maps (PTE-walk equivalent)."""
+        pfns = self.frames_of_pid(pid)
+        return int((pfns < self.fast_frames).sum())
+
+    def ground_truth_hotness(self, pid: int, cut: int) -> tuple[int, int, int, int]:
+        """(hot, hot∧fast, cold∧fast, fast) page counts for ``pid``."""
+        pfns = self.frames_of_pid(pid)
+        in_fast = pfns < self.fast_frames
+        is_hot = (self.epoch_reads[pfns] + self.epoch_writes[pfns]) >= cut
+        fast = int(in_fast.sum())
+        hot = int(is_hot.sum())
+        hot_fast = int((is_hot & in_fast).sum())
+        cold_fast = fast - hot_fast
+        return (hot, hot_fast, cold_fast, fast)
+
+    # -- row lifecycle (attach/detach mirror PhysPage semantics) ---------
+
+    def detach_row(self, pfn: int) -> None:
+        """Unbind a frame and reset per-mapping statistics."""
+        self.pid[pfn] = NONE_SENTINEL
+        self.vpn[pfn] = NONE_SENTINEL
+        self.state[pfn] = STATE_FREE
+        self.reads[pfn] = 0
+        self.writes[pfn] = 0
+        self.heat[pfn] = 0.0
+        self.epoch_reads[pfn] = 0
+        self.epoch_writes[pfn] = 0
+        self.shadow_pfn[pfn] = NONE_SENTINEL
+        self.dirty_since_copy[pfn] = False
+        self.tids_lo[pfn] = 0
+        self.tids_hi[pfn] = 0
+        self.touched[pfn] = False
+
+    # -- consistency checks (exercised by the property tests) ------------
+
+    def check_row_invariants(self) -> None:
+        """Raise AssertionError if any row is internally inconsistent."""
+        free = self.state == STATE_FREE
+        assert (self.pid[free] == NONE_SENTINEL).all(), "free frame with pid"
+        assert (self.vpn[free] == NONE_SENTINEL).all(), "free frame with vpn"
+        assert (self.reads[free] == 0).all(), "free frame with read count"
+        assert (self.writes[free] == 0).all(), "free frame with write count"
+        assert (self.heat[free] == 0.0).all(), "free frame with heat"
+        mapped = (self.state == STATE_MAPPED) | (self.state == STATE_MIGRATING)
+        assert (self.pid[mapped] != NONE_SENTINEL).all(), "mapped frame without pid"
+        assert (self.vpn[mapped] != NONE_SENTINEL).all(), "mapped frame without vpn"
+        nonzero = (self.epoch_reads > 0) | (self.epoch_writes > 0)
+        assert (self.touched[nonzero]).all(), "epoch counters outside touched set"

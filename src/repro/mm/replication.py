@@ -22,9 +22,89 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.mm import pte as pte_mod
 from repro.mm.page_table import LEVEL_BITS, PageTable, PageTableNode
 from repro.mm.pte import PTE_MAX_TID, PTE_SHARED_TID
+
+
+class FlatPteMirror:
+    """Dense vpn-indexed mirror of the process table's leaf entries.
+
+    The radix tree stays authoritative for structural queries (walks,
+    table-page accounting); this mirror exists so the per-epoch hot path
+    can translate and classify whole batches with numpy gathers instead
+    of per-vpn tree walks.  Every PTE mutation in
+    :class:`ReplicatedPageTables` updates the mirror in lock-step.
+    """
+
+    _GROW_PAD = 4096  # grow in 16 MiB-of-address-space steps
+
+    def __init__(self) -> None:
+        self.base = 0
+        self.pfn = np.empty(0, dtype=np.int64)
+        self.owner = np.empty(0, dtype=np.int16)
+        self.dirty = np.zeros(0, dtype=bool)
+        self._present_cache: np.ndarray | None = None
+
+    def _ensure(self, vpn: int) -> None:
+        """Grow the arrays to cover ``vpn`` (amortized, pad on both sides)."""
+        if self.pfn.size and self.base <= vpn < self.base + self.pfn.size:
+            return
+        if self.pfn.size == 0:
+            new_base = max(vpn - 64, 0)
+            new_size = self._GROW_PAD
+            while vpn >= new_base + new_size:
+                new_size *= 2
+            old = None
+        else:
+            lo = min(self.base, vpn)
+            hi = max(self.base + self.pfn.size, vpn + 1)
+            new_base = max(lo - 64, 0)
+            new_size = max(hi - new_base + self._GROW_PAD, 2 * self.pfn.size)
+            old = (self.base, self.pfn, self.owner, self.dirty)
+        pfn = np.full(new_size, -1, dtype=np.int64)
+        owner = np.full(new_size, -1, dtype=np.int16)
+        dirty = np.zeros(new_size, dtype=bool)
+        if old is not None:
+            ob, opfn, oowner, odirty = old
+            off = ob - new_base
+            pfn[off:off + opfn.size] = opfn
+            owner[off:off + opfn.size] = oowner
+            dirty[off:off + opfn.size] = odirty
+        self.base, self.pfn, self.owner, self.dirty = new_base, pfn, owner, dirty
+        self._present_cache = None
+
+    def set(self, vpn: int, pfn: int, owner: int, dirty: bool) -> None:
+        self._ensure(vpn)
+        i = vpn - self.base
+        if self.pfn[i] < 0:
+            self._present_cache = None
+        self.pfn[i] = pfn
+        self.owner[i] = owner
+        self.dirty[i] = dirty
+
+    def set_owner(self, vpn: int, owner: int) -> None:
+        self.owner[vpn - self.base] = owner
+
+    def clear(self, vpn: int) -> None:
+        i = vpn - self.base
+        if 0 <= i < self.pfn.size and self.pfn[i] >= 0:
+            self.pfn[i] = -1
+            self.owner[i] = -1
+            self.dirty[i] = False
+            self._present_cache = None
+
+    def present_vpns(self) -> np.ndarray:
+        """Mapped VPNs in ascending order (cached between mutations)."""
+        if self._present_cache is None:
+            self._present_cache = np.flatnonzero(self.pfn >= 0) + self.base
+        return self._present_cache
+
+    def indices(self, vpns: np.ndarray) -> np.ndarray:
+        """Array indices for ``vpns`` (callers guarantee coverage)."""
+        return vpns - self.base
 
 
 @dataclass
@@ -51,6 +131,8 @@ class ReplicatedPageTables:
         self.thread_tables: dict[int, PageTable] = {}
         #: leaf_base (vpn >> 9) -> set of tids whose trees link that leaf.
         self._leaf_tids: dict[int, set[int]] = {}
+        #: vpn-indexed numpy mirror of the leaf entries (hot-path gathers)
+        self.flat = FlatPteMirror()
         self.stats = ReplicationStats()
 
     # -- thread lifecycle ---------------------------------------------------
@@ -119,6 +201,7 @@ class ReplicatedPageTables:
         owner = tid if self.enabled else PTE_SHARED_TID
         value = pte_mod.pte_make(pfn=pfn, tid=owner, writable=writable, accessed=True)
         self.process_table.map(vpn, value)
+        self.flat.set(vpn, pfn, owner, dirty=False)
         if self.enabled:
             self._link_leaf(vpn, tid)
             self.stats.private_faults += 1
@@ -145,9 +228,44 @@ class ReplicatedPageTables:
         self._link_leaf(vpn, tid)
         if owner != PTE_SHARED_TID:
             self.process_table.update(vpn, pte_mod.pte_with_tid(value, PTE_SHARED_TID))
+            self.flat.set_owner(vpn, PTE_SHARED_TID)
             self.stats.shared_promotions += 1
             return True
         return False
+
+    def bulk_note_access(self, vpns: np.ndarray, tid: int) -> int:
+        """Vectorized :meth:`note_access` over unique, mapped ``vpns``.
+
+        Performs exactly the per-vpn transitions and leaf links the
+        scalar path would (private→shared flips go through
+        :meth:`note_access` itself), but detects the — rare after
+        warm-up — pages needing work with numpy gathers.  Returns the
+        number of private→shared transitions (minor faults to charge).
+        """
+        if not self.enabled or vpns.size == 0:
+            return 0
+        owners = self.flat.owner[self.flat.indices(vpns)]
+        # Pages owned by another thread: full scalar transition path.
+        transition = (owners != tid) & (owners != PTE_SHARED_TID)
+        n_transitions = 0
+        if transition.any():
+            if tid not in self.thread_tables:
+                raise KeyError(f"tid {tid} not registered")
+            for vpn in vpns[transition].tolist():
+                if self.note_access(vpn, tid):
+                    n_transitions += 1
+        # Already-shared pages only need the covering leaf linked once
+        # per (leaf, tid); the candidate leaves are few (512 vpns each).
+        shared = owners == PTE_SHARED_TID
+        if shared.any():
+            if tid not in self.thread_tables:
+                raise KeyError(f"tid {tid} not registered")
+            shared_vpns = vpns[shared]
+            bases, first = np.unique(shared_vpns >> LEVEL_BITS, return_index=True)
+            for base, vpn in zip(bases.tolist(), shared_vpns[first].tolist()):
+                if tid not in self._leaf_tids.get(base, ()):
+                    self._link_leaf(vpn, tid)
+        return n_transitions
 
     # -- queries the migration engine needs ---------------------------------
 
@@ -157,10 +275,18 @@ class ReplicatedPageTables:
     def update(self, vpn: int, new_value: int) -> None:
         """Single-store PTE update, visible through every replica."""
         self.process_table.update(vpn, new_value)
+        self.flat.set(
+            vpn,
+            pte_mod.pte_pfn(new_value),
+            pte_mod.pte_tid(new_value),
+            pte_mod.pte_is_dirty(new_value),
+        )
 
     def unmap(self, vpn: int) -> int:
         """Clear the (shared) PTE; replicas see it vanish simultaneously."""
-        return self.process_table.unmap(vpn)
+        value = self.process_table.unmap(vpn)
+        self.flat.clear(vpn)
+        return value
 
     def sharing_tids(self, vpn: int) -> set[int]:
         """Threads that may cache a translation for ``vpn``.

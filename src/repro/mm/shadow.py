@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class ShadowStats:
@@ -49,6 +51,13 @@ class ShadowTracker:
 
     def shadow_of(self, fast_pfn: int) -> int | None:
         return self._shadows.get(fast_pfn)
+
+    def shadowed_mask(self, fast_pfns: np.ndarray) -> np.ndarray:
+        """Vectorized ``shadow_of(pfn) is not None`` over an array."""
+        if not self._shadows:
+            return np.zeros(fast_pfns.size, dtype=bool)
+        keys = np.fromiter(self._shadows, dtype=np.int64, count=len(self._shadows))
+        return np.isin(fast_pfns, keys)
 
     def on_write(self, fast_pfn: int) -> int | None:
         """A write diverged the copies; drop the shadow.

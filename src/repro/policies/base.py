@@ -216,11 +216,4 @@ class TieringPolicy:
 
     def _fast_usage(self, pid: int) -> int:
         """Ground-truth fast-tier pages of one workload."""
-        from repro.mm import pte as pte_mod
-
-        rt = self.workloads[pid]
-        used = 0
-        for _vpn, value in rt.space.process.repl.process_table.iter_ptes():
-            if self.allocator.tier_of_pfn(pte_mod.pte_pfn(value)) == 0:
-                used += 1
-        return used
+        return self.allocator.store.fast_usage(pid)

@@ -18,7 +18,8 @@ Re-implemented from the paper's description:
 
 from __future__ import annotations
 
-from repro.mm import pte as pte_mod
+import numpy as np
+
 from repro.mm.migration import MigrationRequest, OptimizationFlags
 from repro.policies.base import TieringPolicy
 from repro.profiling.base import Profiler
@@ -48,8 +49,6 @@ class MemtisPolicy(TieringPolicy):
         self.reserve_frac = reserve_frac
 
     def _make_profiler(self, pid: int) -> Profiler:
-        import numpy as np
-
         return PebsProfiler(
             period=self.sampling_period,
             decay=0.5,
@@ -62,46 +61,61 @@ class MemtisPolicy(TieringPolicy):
             return
         capacity = int(self.allocator.tiers[0].total * (1.0 - self.reserve_frac))
 
-        # Build the global heat table (pid, vpn) -> heat.
-        entries: list[tuple[float, int, int, int]] = []  # (heat, pid, vpn, tier)
+        # Build the global heat table as parallel columns (heat, pid, vpn, tier).
+        cols: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
         for pid, rt in self.workloads.items():
-            heat = rt.profiler.hotness(pid)
-            for vpn, value in rt.space.process.repl.process_table.iter_ptes():
-                tier = self.allocator.tier_of_pfn(pte_mod.pte_pfn(value))
-                entries.append((heat.get(vpn, 0.0), pid, vpn, tier))
-        if not entries:
+            flat = rt.space.process.repl.flat
+            pvpns = flat.present_vpns()
+            if pvpns.size == 0:
+                continue
+            pfns = flat.pfn[flat.indices(pvpns)]
+            cols.append(
+                (
+                    rt.profiler.heat_of(pid, pvpns),
+                    np.full(pvpns.size, pid, dtype=np.int64),
+                    pvpns,
+                    (pfns >= self.allocator.store.fast_frames).astype(np.int8),
+                )
+            )
+        if not cols:
             return
+        h = np.concatenate([c[0] for c in cols])
+        pids = np.concatenate([c[1] for c in cols])
+        vpns = np.concatenate([c[2] for c in cols])
+        tiers = np.concatenate([c[3] for c in cols])
 
         # The capacity-sized global hot set: hottest pages first, raw
         # absolute counts, no per-workload normalization (Observation #1).
-        entries.sort(key=lambda e: (-e[0], e[1], e[2]))
-        hot_entries = [e for e in entries[:capacity] if e[0] > 0.0]
-        n_hot = len(hot_entries)
+        # Same total order as sorting tuples by (-heat, pid, vpn).
+        order = np.lexsort((vpns, pids, -h))
+        h, pids, vpns, tiers = h[order], pids[order], vpns[order], tiers[order]
+        # The descending sort puts zero-heat rows at the back of the
+        # capacity window, so the hot set is the h>0 prefix.
+        n_hot = int((h[:capacity] > 0.0).sum())
 
         # Promote hot pages stuck in the slow tier, hottest first.
-        promotions = [(h, pid, vpn) for h, pid, vpn, tier in hot_entries if tier == 1]
-        # Demotion victims: fast pages outside the hot set, coldest first.
-        demotions = [
-            (h, pid, vpn)
-            for h, pid, vpn, tier in entries[n_hot:]
-            if tier == 0
-        ]
-        demotions.sort()
+        promo_idx = np.flatnonzero(tiers[:n_hot] == 1)
+        # Demotion victims: fast pages outside the hot set, coldest first
+        # (ascending (heat, pid, vpn), matching the old tuple sort).
+        demo_idx = n_hot + np.flatnonzero(tiers[n_hot:] == 0)
+        demo_idx = demo_idx[np.lexsort((vpns[demo_idx], pids[demo_idx], h[demo_idx]))]
         free = self.allocator.free_frames(0)
         budget = self.migration_budget
 
-        n_promote = min(len(promotions), budget)
+        n_promote = min(promo_idx.size, budget)
         # Demote enough to make room for the promotions.
         room_needed = max(n_promote - free, 0)
-        n_demote = min(room_needed, len(demotions), budget)
+        n_demote = min(room_needed, demo_idx.size, budget)
 
         by_pid: dict[int, list[MigrationRequest]] = {}
-        for heat, pid, vpn in demotions[:n_demote]:
+        for i in demo_idx[:n_demote].tolist():
+            pid, vpn = int(pids[i]), int(vpns[i])
             by_pid.setdefault(pid, []).append(
                 MigrationRequest(pid=pid, vpn=vpn, dest_tier=1, sync=False)
             )
         n_promote = min(n_promote, free + n_demote)
-        for heat, pid, vpn in promotions[:n_promote]:
+        for i in promo_idx[:n_promote].tolist():
+            pid, vpn = int(pids[i]), int(vpns[i])
             rt = self.workloads[pid]
             by_pid.setdefault(pid, []).append(
                 MigrationRequest(

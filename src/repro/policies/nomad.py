@@ -18,7 +18,10 @@ Re-implemented from the paper's description:
 
 from __future__ import annotations
 
-from repro.mm import pte as pte_mod
+from itertools import repeat
+
+import numpy as np
+
 from repro.mm.migration import MigrationRequest, OptimizationFlags
 from repro.policies.base import TieringPolicy, WorkloadRuntime
 from repro.profiling.base import Profiler
@@ -50,14 +53,8 @@ class NomadPolicy(TieringPolicy):
         return True
 
     def _on_register(self, rt: WorkloadRuntime) -> None:
-        import numpy as np
-
-        vpns = np.fromiter(
-            (vpn for vpn, _ in rt.space.process.repl.process_table.iter_ptes()),
-            dtype=np.int64,
-        )
         assert isinstance(rt.profiler, HintFaultProfiler)
-        rt.profiler.register_pages(rt.pid, vpns)
+        rt.profiler.register_pages(rt.pid, rt.space.process.repl.flat.present_vpns())
 
     def _plan_and_migrate(self) -> None:
         self._demote_to_watermark()
@@ -76,13 +73,20 @@ class NomadPolicy(TieringPolicy):
         # resident (always recently referenced) while an LC service's
         # zipf tail ages out -- no workload awareness at all.
         victims: list[tuple[int, float, int, int]] = []  # (last_access, heat, pid, vpn)
+        store = self.allocator.store
         for pid, rt in self.workloads.items():
-            heat = rt.profiler.hotness(pid)
-            for vpn, value in rt.space.process.repl.process_table.iter_ptes():
-                pfn = pte_mod.pte_pfn(value)
-                if self.allocator.tier_of_pfn(pfn) == 0:
-                    page = self.allocator.page(pfn)
-                    victims.append((page.last_access_cycle, heat.get(vpn, 0.0), pid, vpn))
+            flat = rt.space.process.repl.flat
+            vpns = flat.present_vpns()
+            if vpns.size == 0:
+                continue
+            pfns = flat.pfn[flat.indices(vpns)]
+            fastm = pfns < store.fast_frames
+            if not fastm.any():
+                continue
+            v = vpns[fastm]
+            ages = store.last_access_cycle[pfns[fastm]]
+            heats = rt.profiler.heat_of(pid, v)
+            victims.extend(zip(ages.tolist(), heats.tolist(), repeat(pid), v.tolist()))
         # Oldest accessed-bit age first; among equally-recent pages the
         # kernel has no meaningful order, so quantize the hint heat and
         # jitter -- otherwise float residue from fault history would
@@ -100,15 +104,21 @@ class NomadPolicy(TieringPolicy):
     def _promote_hot(self) -> None:
         candidates: list[tuple[float, int, int]] = []
         for pid, rt in self.workloads.items():
-            repl = rt.space.process.repl
-            for vpn, heat in rt.profiler.hotness(pid).items():
-                if heat < self.promote_threshold:
-                    continue
-                value = repl.lookup(vpn)
-                if value is None:
-                    continue
-                if self.allocator.tier_of_pfn(pte_mod.pte_pfn(value)) == 1:
-                    candidates.append((heat, pid, vpn))
+            flat = rt.space.process.repl.flat
+            # Heat-insertion order — the order the old dict walk saw.
+            vpns, heats = rt.profiler.heat_view(pid)
+            if vpns.size == 0:
+                continue
+            hot = heats >= self.promote_threshold
+            vpns, heats = vpns[hot], heats[hot]
+            if vpns.size == 0:
+                continue
+            idx = vpns - flat.base
+            in_range = (idx >= 0) & (idx < flat.pfn.size)
+            pfns = np.full(vpns.size, -1, dtype=np.int64)
+            pfns[in_range] = flat.pfn[idx[in_range]]
+            slow = pfns >= self.allocator.store.fast_frames
+            candidates.extend(zip(heats[slow].tolist(), repeat(pid), vpns[slow].tolist()))
         # Hint faults are a binary-per-rotation signal, so candidate
         # heats tie en masse (up to float residue from fault history);
         # real promotion order is fault arrival, which has no workload

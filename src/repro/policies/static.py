@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from repro.mm import pte as pte_mod
+import numpy as np
+
 from repro.mm.migration import MigrationRequest
 from repro.policies.base import TieringPolicy, WorkloadRuntime
 from repro.profiling.base import Profiler
@@ -50,35 +51,36 @@ class UniformStaticPolicy(TieringPolicy):
             self._rebalance_workload(pid, rt, share)
 
     def _rebalance_workload(self, pid: int, rt: WorkloadRuntime, share: int) -> None:
-        heat = rt.profiler.hotness(pid)
-        repl = rt.space.process.repl
-
-        fast_pages: list[tuple[float, int]] = []  # (heat, vpn)
-        slow_pages: list[tuple[float, int]] = []
-        for vpn, value in repl.process_table.iter_ptes():
-            h = heat.get(vpn, 0.0)
-            if self.allocator.tier_of_pfn(pte_mod.pte_pfn(value)) == 0:
-                fast_pages.append((h, vpn))
-            else:
-                slow_pages.append((h, vpn))
+        flat = rt.space.process.repl.flat
+        vpns = flat.present_vpns()
+        if vpns.size == 0:
+            return
+        pfns = flat.pfn[flat.indices(vpns)]
+        h = rt.profiler.heat_of(pid, vpns)
+        fastm = pfns < self.allocator.store.fast_frames
+        fvpns, fh = vpns[fastm], h[fastm]
+        svpns, sh = vpns[~fastm], h[~fastm]
 
         requests: list[MigrationRequest] = []
         # Shrink to the static share first.
-        overage = len(fast_pages) - share
+        overage = fvpns.size - share
         if overage > 0:
-            fast_pages.sort()  # coldest first
-            for h, vpn in fast_pages[:overage]:
-                requests.append(MigrationRequest(pid=pid, vpn=vpn, dest_tier=1, sync=True))
-            fast_pages = fast_pages[overage:]
+            # Coldest first — ascending (heat, vpn), the old tuple sort.
+            for i in np.lexsort((fvpns, fh))[:overage].tolist():
+                requests.append(
+                    MigrationRequest(pid=pid, vpn=int(fvpns[i]), dest_tier=1, sync=True)
+                )
 
         # Promote hottest slow pages into remaining headroom.
-        headroom = share - len(fast_pages)
+        headroom = share - (fvpns.size - max(overage, 0))
         headroom = min(headroom, self.promotion_budget)
-        if headroom > 0 and slow_pages:
-            slow_pages.sort(reverse=True)  # hottest first
-            for h, vpn in slow_pages[:headroom]:
-                if h <= 0.0:
+        if headroom > 0 and svpns.size:
+            # Hottest first — descending (heat, vpn), the old reverse sort.
+            for i in np.lexsort((-svpns, -sh))[:headroom].tolist():
+                if sh[i] <= 0.0:
                     break
-                requests.append(MigrationRequest(pid=pid, vpn=vpn, dest_tier=0, sync=True))
+                requests.append(
+                    MigrationRequest(pid=pid, vpn=int(svpns[i]), dest_tier=0, sync=True)
+                )
         if requests:
             rt.engine.migrate_batch(requests)

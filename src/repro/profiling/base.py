@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.profiling.heat_store import HeatStore
+
 
 @dataclass(frozen=True)
 class AccessBatch:
@@ -19,6 +21,16 @@ class AccessBatch:
     def __post_init__(self) -> None:
         if self.vpns.shape != self.is_write.shape:
             raise ValueError("vpns and is_write must have identical shape")
+        if not np.issubdtype(self.vpns.dtype, np.integer):
+            raise TypeError(
+                f"vpns must have an integer dtype, got {self.vpns.dtype} "
+                "(float vpns would silently mis-accumulate heat)"
+            )
+        if self.is_write.dtype != np.bool_:
+            raise TypeError(
+                f"is_write must have dtype bool, got {self.is_write.dtype} "
+                "(non-bool masks would skew the write-heat bincounts)"
+            )
 
     @property
     def n(self) -> int:
@@ -47,6 +59,12 @@ class Profiler:
 
     Heat decays by ``decay`` each epoch (Memtis-style halving when
     ``decay=0.5``), so hotness tracks the recent past.
+
+    Heat lives in a :class:`~repro.profiling.heat_store.HeatStore`
+    (dense per-pid arrays).  :meth:`hotness` still materializes the
+    classic ``{vpn: heat}`` dict for tests and cold paths; hot paths
+    should use the vectorized accessors (:meth:`heat_view`,
+    :meth:`write_fraction_many`, :meth:`hot_count`).
     """
 
     #: human-readable mechanism name, overridden by subclasses
@@ -56,10 +74,8 @@ class Profiler:
         if not 0.0 <= decay <= 1.0:
             raise ValueError("decay must lie in [0, 1]")
         self.decay = decay
-        #: pid -> {vpn: heat}
-        self._heat: dict[int, dict[int, float]] = {}
-        #: pid -> {vpn: write-heat} (for read/write classification)
-        self._write_heat: dict[int, dict[int, float]] = {}
+        self._heat = HeatStore()
+        self._write_heat = HeatStore()
         self.stats = ProfilerStats()
 
     # -- subclass API ----------------------------------------------------
@@ -72,17 +88,14 @@ class Profiler:
         """Add heat mass to pages of ``pid`` (vectorized per unique page)."""
         if vpns.size == 0:
             return
-        heat = self._heat.setdefault(pid, {})
         uniq, inverse = np.unique(vpns, return_inverse=True)
         sums = np.bincount(inverse, weights=weights)
-        for vpn, w in zip(uniq.tolist(), sums.tolist()):
-            heat[vpn] = heat.get(vpn, 0.0) + w
+        self._heat.accumulate(pid, uniq, sums)
         if write_weights is not None:
-            wheat = self._write_heat.setdefault(pid, {})
             wsums = np.bincount(inverse, weights=write_weights)
-            for vpn, w in zip(uniq.tolist(), wsums.tolist()):
-                if w > 0.0:
-                    wheat[vpn] = wheat.get(vpn, 0.0) + w
+            written = wsums > 0.0
+            if written.any():
+                self._write_heat.accumulate(pid, uniq[written], wsums[written])
 
     # -- common API ---------------------------------------------------------
 
@@ -90,45 +103,53 @@ class Profiler:
         """Decay heat; subclasses extend for rotation/scan bookkeeping."""
         self.stats.epochs += 1
         if self.decay < 1.0:
-            for heat in self._heat.values():
-                dead = []
-                for vpn in heat:
-                    heat[vpn] *= self.decay
-                    if heat[vpn] < 1e-6:
-                        dead.append(vpn)
-                for vpn in dead:
-                    del heat[vpn]
-            for wheat in self._write_heat.values():
-                dead = []
-                for vpn in wheat:
-                    wheat[vpn] *= self.decay
-                    if wheat[vpn] < 1e-6:
-                        dead.append(vpn)
-                for vpn in dead:
-                    del wheat[vpn]
+            self._heat.decay_all(self.decay)
+            self._write_heat.decay_all(self.decay)
 
     def hotness(self, pid: int) -> dict[int, float]:
-        """Current per-page heat estimates for ``pid`` (live view)."""
-        return self._heat.get(pid, {})
+        """Per-page heat estimates for ``pid`` as a dict (cold paths)."""
+        return self._heat.as_dict(pid)
 
     def write_heat(self, pid: int) -> dict[int, float]:
         """Write-specific heat (for read/write intensity classification)."""
-        return self._write_heat.get(pid, {})
+        return self._write_heat.as_dict(pid)
+
+    def heat_view(self, pid: int) -> tuple[np.ndarray, np.ndarray]:
+        """(vpns, heats) in heat-insertion order — the vectorized
+        equivalent of iterating ``hotness(pid).items()``."""
+        vpns = self._heat.ordered_vpns(pid)
+        return vpns, self._heat.gather(pid, vpns)
+
+    def heat_of(self, pid: int, vpns: np.ndarray) -> np.ndarray:
+        """``hotness(pid).get(vpn, 0.0)`` vectorized over ``vpns``."""
+        return self._heat.gather(pid, vpns)
+
+    def hot_count(self, pid: int, threshold: float) -> int:
+        """How many pages of ``pid`` have heat >= ``threshold``."""
+        return self._heat.count_at_least(pid, threshold)
 
     def write_fraction(self, pid: int, vpn: int) -> float:
         """Estimated fraction of accesses to ``vpn`` that are writes."""
-        h = self._heat.get(pid, {}).get(vpn, 0.0)
+        h = self._heat.get(pid, vpn)
         if h <= 0.0:
             return 0.0
-        w = self._write_heat.get(pid, {}).get(vpn, 0.0)
+        w = self._write_heat.get(pid, vpn)
         return min(w / h, 1.0)
+
+    def write_fraction_many(self, pid: int, vpns: np.ndarray) -> np.ndarray:
+        """:meth:`write_fraction` vectorized over ``vpns``."""
+        h = self._heat.gather(pid, vpns)
+        w = self._write_heat.gather(pid, vpns)
+        out = np.zeros(vpns.size, dtype=np.float64)
+        pos = h > 0.0
+        out[pos] = np.minimum(w[pos] / h[pos], 1.0)
+        return out
 
     def hottest(self, pid: int, n: int) -> list[tuple[int, float]]:
         """Top-``n`` (vpn, heat) pairs, hottest first, vpn-tiebroken."""
-        heat = self._heat.get(pid, {})
-        return sorted(heat.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        return self._heat.hottest(pid, n)
 
     def forget(self, pid: int) -> None:
         """Drop all state for an exited process."""
-        self._heat.pop(pid, None)
-        self._write_heat.pop(pid, None)
+        self._heat.forget(pid)
+        self._write_heat.forget(pid)

@@ -1,0 +1,227 @@
+"""Dense per-pid heat arrays (the profiling half of the SoA refactor).
+
+Replaces the old ``dict[pid, dict[vpn, float]]`` heat books with one
+dense float64 array per pid over the pid's vpn range: accumulate is a
+fancy-indexed add over bincount-compressed batches, decay is one
+vectorized multiply plus threshold compaction, and policy-side reads
+are numpy gathers instead of dict lookups.
+
+Two properties of the old dicts are *observable* through policy
+decisions and are preserved exactly:
+
+* **Values** — every float is produced by the same elementwise
+  arithmetic the dict path used (one add per unique vpn per batch, one
+  multiply per epoch), so heats are bit-identical.
+* **Iteration order** — promotion-queue heat averages and the
+  tpp/nomad shuffle consume heats in dict *insertion* order, so each
+  pid keeps an ordered key set (`dict[int, None]`): new vpns append in
+  ascending order per batch (``np.unique`` sorts), dead vpns drop out
+  on decay, exactly as dict keys did.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: heat below this after decay is dropped (dict-compaction threshold)
+DECAY_FLOOR = 1e-6
+
+_GROW_PAD = 4096
+
+
+class _PidHeat:
+    """One pid's dense heat array plus the insertion-ordered key set."""
+
+    __slots__ = ("base", "heat", "live", "order", "_order_cache")
+
+    def __init__(self) -> None:
+        self.base = 0
+        self.heat = np.empty(0, dtype=np.float64)
+        self.live = np.zeros(0, dtype=bool)
+        self.order: dict[int, None] = {}
+        self._order_cache: np.ndarray | None = None
+
+    def ensure(self, lo: int, hi: int) -> None:
+        """Grow arrays to cover vpns in ``[lo, hi]``."""
+        if self.heat.size and self.base <= lo and hi < self.base + self.heat.size:
+            return
+        if self.heat.size == 0:
+            new_base = max(lo - 64, 0)
+            new_size = max(hi - new_base + _GROW_PAD, _GROW_PAD)
+            old = None
+        else:
+            span_lo = min(self.base, lo)
+            span_hi = max(self.base + self.heat.size, hi + 1)
+            new_base = max(span_lo - 64, 0)
+            new_size = max(span_hi - new_base + _GROW_PAD, 2 * self.heat.size)
+            old = (self.base, self.heat, self.live)
+        heat = np.zeros(new_size, dtype=np.float64)
+        live = np.zeros(new_size, dtype=bool)
+        if old is not None:
+            ob, oheat, olive = old
+            off = ob - new_base
+            heat[off:off + oheat.size] = oheat
+            live[off:off + olive.size] = olive
+        self.base, self.heat, self.live = new_base, heat, live
+
+    def ordered_vpns(self) -> np.ndarray:
+        if self._order_cache is None:
+            self._order_cache = np.fromiter(
+                self.order, dtype=np.int64, count=len(self.order)
+            )
+        return self._order_cache
+
+    def copy(self) -> "_PidHeat":
+        dup = _PidHeat()
+        dup.base = self.base
+        dup.heat = self.heat.copy()
+        dup.live = self.live.copy()
+        dup.order = dict(self.order)
+        return dup
+
+
+class HeatStore:
+    """Per-(pid, vpn) heat as dense arrays with dict-equivalent semantics."""
+
+    def __init__(self) -> None:
+        self._pids: dict[int, _PidHeat] = {}
+
+    # -- writes ----------------------------------------------------------
+
+    def accumulate(self, pid: int, vpns: np.ndarray, sums: np.ndarray) -> None:
+        """Add ``sums`` to ``vpns`` (unique, ascending) for ``pid``.
+
+        Equivalent to ``heat[vpn] = heat.get(vpn, 0.0) + w`` per entry;
+        new keys enter the order set in ascending-vpn order, matching
+        the dict path (``np.unique`` output is sorted).
+        """
+        if vpns.size == 0:
+            return
+        ph = self._pids.setdefault(pid, _PidHeat())
+        ph.ensure(int(vpns[0]), int(vpns[-1]))
+        idx = vpns - ph.base
+        ph.heat[idx] += sums
+        new = ~ph.live[idx]
+        if new.any():
+            order = ph.order
+            for vpn in vpns[new].tolist():
+                order[vpn] = None
+            ph.live[idx[new]] = True
+            ph._order_cache = None
+
+    def add_scaled(self, pid: int, vpns: np.ndarray, heats: np.ndarray, scale: float) -> None:
+        """``heat[vpn] = heat.get(vpn, 0.0) + h * scale`` in given order.
+
+        Used by the hybrid profiler's fusion pass; ``vpns`` must be
+        unique but may be in any order — new keys append in exactly
+        that order (the old dict-update order).
+        """
+        if vpns.size == 0:
+            return
+        ph = self._pids.setdefault(pid, _PidHeat())
+        ph.ensure(int(vpns.min()), int(vpns.max()))
+        idx = vpns - ph.base
+        ph.heat[idx] += heats * scale
+        new = ~ph.live[idx]
+        if new.any():
+            order = ph.order
+            for vpn in vpns[new].tolist():
+                order[vpn] = None
+            ph.live[idx[new]] = True
+            ph._order_cache = None
+
+    def adopt_copy(self, pid: int, src: "HeatStore") -> None:
+        """Replace ``pid``'s book with a copy of ``src``'s (fusion base)."""
+        sph = src._pids.get(pid)
+        if sph is None:
+            self._pids.pop(pid, None)
+        else:
+            self._pids[pid] = sph.copy()
+
+    def decay_all(self, decay: float, floor: float = DECAY_FLOOR) -> None:
+        """One-shot decay: ``heat *= decay`` then drop entries < floor."""
+        for ph in self._pids.values():
+            ph.heat *= decay  # non-live entries are exactly 0.0
+            dead_idx = np.flatnonzero(ph.live & (ph.heat < floor))
+            if dead_idx.size:
+                ph.heat[dead_idx] = 0.0
+                ph.live[dead_idx] = False
+                order = ph.order
+                for vpn in (dead_idx + ph.base).tolist():
+                    del order[vpn]
+                ph._order_cache = None
+
+    def forget(self, pid: int) -> None:
+        self._pids.pop(pid, None)
+
+    def clear(self) -> None:
+        self._pids.clear()
+
+    # -- reads -----------------------------------------------------------
+
+    def pids(self) -> list[int]:
+        return list(self._pids)
+
+    def ordered_vpns(self, pid: int) -> np.ndarray:
+        """Live vpns in insertion order (the old dict iteration order)."""
+        ph = self._pids.get(pid)
+        if ph is None:
+            return np.empty(0, dtype=np.int64)
+        return ph.ordered_vpns()
+
+    def gather(self, pid: int, vpns: np.ndarray) -> np.ndarray:
+        """``heat.get(vpn, 0.0)`` vectorized over ``vpns``."""
+        out = np.zeros(vpns.size, dtype=np.float64)
+        ph = self._pids.get(pid)
+        if ph is None or ph.heat.size == 0:
+            return out
+        idx = vpns - ph.base
+        ok = (idx >= 0) & (idx < ph.heat.size)
+        out[ok] = ph.heat[idx[ok]]
+        return out
+
+    def get(self, pid: int, vpn: int) -> float:
+        ph = self._pids.get(pid)
+        if ph is None:
+            return 0.0
+        i = vpn - ph.base
+        if 0 <= i < ph.heat.size:
+            return float(ph.heat[i])
+        return 0.0
+
+    def count_at_least(self, pid: int, threshold: float) -> int:
+        """How many live entries have heat >= threshold."""
+        ph = self._pids.get(pid)
+        if ph is None:
+            return 0
+        return int((ph.live & (ph.heat >= threshold)).sum())
+
+    def as_dict(self, pid: int) -> dict[int, float]:
+        """Materialize the old dict view (insertion order, python floats)."""
+        ph = self._pids.get(pid)
+        if ph is None:
+            return {}
+        vpns = ph.ordered_vpns()
+        heats = ph.heat[vpns - ph.base].tolist()
+        return dict(zip(vpns.tolist(), heats))
+
+    def hottest(self, pid: int, n: int) -> list[tuple[int, float]]:
+        """Top-``n`` (vpn, heat), hottest first, vpn-tiebroken.
+
+        ``argpartition`` prunes to the candidate set before the exact
+        ``(-heat, vpn)`` ordering (a stable lexsort) so the full-table
+        sort only touches ~n entries.
+        """
+        ph = self._pids.get(pid)
+        if ph is None or n <= 0 or not ph.order:
+            return []
+        vpns = np.flatnonzero(ph.live) + ph.base  # ascending
+        heats = ph.heat[vpns - ph.base]
+        if n < vpns.size:
+            # Keep everything tied with the k-th largest heat so the
+            # vpn tiebreak stays exact, then order the survivors.
+            kth = np.partition(heats, vpns.size - n)[vpns.size - n]
+            keep = heats >= kth
+            vpns, heats = vpns[keep], heats[keep]
+        order = np.lexsort((vpns, -heats))[:n]
+        return list(zip(vpns[order].tolist(), heats[order].tolist()))

@@ -55,20 +55,24 @@ class HybridProfiler(Profiler):
     def end_epoch(self) -> None:
         self.pebs.end_epoch()
         self.faults.end_epoch()
-        # Fuse into this profiler's own heat dicts so downstream
-        # consumers see one coherent estimate.
+        # Fuse into this profiler's own heat store so downstream
+        # consumers see one coherent estimate: start from a copy of the
+        # PEBS book, then add the boosted fault indicator in the fault
+        # store's insertion order (the old dict-update order).
         self._heat.clear()
         self._write_heat.clear()
-        pids = set(self.pebs._heat) | set(self.faults._heat)
+        pids = set(self.pebs._heat.pids()) | set(self.faults._heat.pids())
         for pid in pids:
-            fused: dict[int, float] = dict(self.pebs.hotness(pid))
-            for vpn, h in self.faults.hotness(pid).items():
-                fused[vpn] = fused.get(vpn, 0.0) + h * self.fault_boost
-            self._heat[pid] = fused
-            wfused: dict[int, float] = dict(self.pebs.write_heat(pid))
-            for vpn, h in self.faults.write_heat(pid).items():
-                wfused[vpn] = wfused.get(vpn, 0.0) + h * self.fault_boost
-            self._write_heat[pid] = wfused
+            self._heat.adopt_copy(pid, self.pebs._heat)
+            fvpns = self.faults._heat.ordered_vpns(pid)
+            self._heat.add_scaled(
+                pid, fvpns, self.faults._heat.gather(pid, fvpns), self.fault_boost
+            )
+            self._write_heat.adopt_copy(pid, self.pebs._write_heat)
+            wvpns = self.faults._write_heat.ordered_vpns(pid)
+            self._write_heat.add_scaled(
+                pid, wvpns, self.faults._write_heat.gather(pid, wvpns), self.fault_boost
+            )
         # Aggregate cost accounting.
         self.stats.epochs += 1
         self.stats.samples_taken = self.pebs.stats.samples_taken + self.faults.stats.samples_taken

@@ -1,0 +1,49 @@
+"""Regenerate the frozen golden metrics snapshots.
+
+Run from the repo root:
+
+    PYTHONPATH=src python tests/golden/capture.py
+
+The snapshots pin ``ExperimentResult.to_dict()`` bit-for-bit (JSON's
+shortest-round-trip float repr is exact), so any refactor of the
+frame/heat hot path can be checked against the pre-refactor behaviour.
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.cli import _run_one
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+MATRIX = [
+    ("vulcan", "paper"), ("vulcan", "dilemma"),
+    ("memtis", "paper"), ("memtis", "dilemma"),
+    ("tpp", "paper"), ("tpp", "dilemma"),
+    ("nomad", "paper"), ("nomad", "dilemma"),
+    ("uniform", "paper"),
+    ("none", "paper"),
+]
+EPOCHS = 8
+ACCESSES_PER_THREAD = 3000
+SEED = 1
+
+
+def main() -> int:
+    for policy, mix in MATRIX:
+        res = _run_one(policy, mix, EPOCHS, ACCESSES_PER_THREAD, SEED)
+        path = GOLDEN_DIR / f"e2e_{policy}_{mix}.json"
+        payload = {
+            "config": {
+                "policy": policy, "mix": mix, "epochs": EPOCHS,
+                "accesses_per_thread": ACCESSES_PER_THREAD, "seed": SEED,
+            },
+            "result": res.to_dict(),
+        }
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ parallel differential guarantee stand on.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro.harness import ColocationExperiment
@@ -102,3 +105,39 @@ def test_same_seed_runs_emit_identical_obs_state():
     assert events_first == events_second
     assert metrics_first == metrics_second
     assert metrics_first["counters"]  # the run actually exercised instruments
+
+
+# -- frozen goldens: cross-commit, not just cross-run ---------------------------
+#
+# The tests above prove two same-seed runs of *this* commit agree.  The
+# goldens in tests/golden/ pin the metrics of the pre-refactor
+# (object-per-page) implementation bit-for-bit: ExperimentResult.to_dict()
+# round-trips floats losslessly through JSON, so equality here means the
+# struct-of-arrays core changed *nothing* observable.  Regenerate (only
+# when a behaviour change is intended) with
+# ``PYTHONPATH=src python tests/golden/capture.py``.
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("e2e_*.json"))
+
+
+def test_golden_matrix_is_present():
+    """The frozen matrix must not silently shrink."""
+    assert len(GOLDEN_FILES) == 10
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_golden_metrics_bit_identical(path):
+    from repro.cli import _run_one
+
+    frozen = json.loads(path.read_text())
+    cfg = frozen["config"]
+    res = _run_one(
+        cfg["policy"], cfg["mix"], cfg["epochs"], cfg["accesses_per_thread"], cfg["seed"]
+    )
+    # Compare through the same JSON round-trip capture.py used, so float
+    # repr and key types are identical on both sides.
+    got = json.loads(json.dumps(res.to_dict(), sort_keys=True))
+    assert got == frozen["result"], (
+        f"{path.name}: metrics diverged from the frozen pre-refactor run"
+    )
