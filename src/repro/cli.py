@@ -219,7 +219,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.bench import check_regression, run_bench
 
-    bench = run_bench(quick=args.quick)
+    bench = run_bench(quick=args.quick, scenario=args.scenario)
     payload = bench.to_dict()
     out = Path(args.output)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -233,6 +233,135 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if err is not None:
             print(f"FAIL: {err}", file=sys.stderr)
             return 1
+    return 0
+
+
+# -- scenario --------------------------------------------------------------------
+
+def _load_scenario_spec(args: argparse.Namespace):
+    from repro.scenario import ScenarioSpecError, get_scenario
+    from repro.scenario.spec import ScenarioSpec
+
+    if bool(args.name) == bool(args.spec):
+        raise SystemExit("scenario run: give a canned NAME or --spec FILE (not both)")
+    try:
+        if args.spec:
+            return ScenarioSpec.from_json(args.spec)
+        return get_scenario(args.name)
+    except OSError as exc:
+        raise SystemExit(f"cannot read --spec file: {exc}")
+    except (json.JSONDecodeError, ScenarioSpecError, KeyError, TypeError) as exc:
+        raise SystemExit(f"invalid scenario: {exc}")
+
+
+def _scenario_check(sres, spec) -> list[str]:
+    """Acceptance assertions for ``scenario run --check``."""
+    errors: list[str] = []
+    want_departs = sum(1 for e in spec.events if e.action == "depart")
+    want_restarts = sum(1 for e in spec.events if e.action == "restart")
+    if len(sres.departures) != want_departs:
+        errors.append(f"departures: scripted {want_departs}, observed {len(sres.departures)}")
+    if len(sres.restarts) != want_restarts:
+        errors.append(f"restarts: scripted {want_restarts}, observed {len(sres.restarts)}")
+    bad_leaks = [c for c in sres.leak_checks if not c.get("consistent")]
+    if len(sres.leak_checks) != want_departs or bad_leaks:
+        errors.append(
+            f"leak checks: {len(sres.leak_checks)}/{want_departs} ran, {len(bad_leaks)} failed"
+        )
+    faults_armed = any(
+        e.action == "faults_set" and any(float(p) > 0 for p in e.params.values())
+        for e in spec.events
+    )
+    if faults_armed and not sres.faults:
+        errors.append("faults armed but none fired")
+    n = sres.result.n_epochs
+    for pid, ts in sres.result.workloads.items():
+        if ts.epochs and (ts.epochs[0] < 0 or ts.epochs[-1] >= n):
+            errors.append(f"pid {pid}: epochs outside [0, {n})")
+    for dep in sres.departures:
+        ts = sres.result.workloads.get(dep["pid"])
+        if ts is not None and ts.last_epoch >= dep["epoch"]:
+            errors.append(
+                f"pid {dep['pid']} departed @{dep['epoch']} but recorded epoch {ts.last_epoch}"
+            )
+    return errors
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.metrics.fairness import churn_fairness
+    from repro.scenario import run_scenario
+
+    spec = _load_scenario_spec(args)
+    tracer = get_tracer()
+    if args.trace:
+        _check_trace_path(args.trace)
+        tracer.enable()
+    try:
+        sres = run_scenario(spec, seed=args.seed, policy=args.policy, epochs=args.epochs)
+        if args.trace:
+            _export_trace(sres.result, args.trace)
+    finally:
+        if args.trace:
+            tracer.disable()
+    fairness = churn_fairness(sres.result, window=args.window)
+    check_errors = _scenario_check(sres, spec) if args.check else []
+    if args.json:
+        payload = sres.to_dict()
+        payload["fairness_under_churn"] = fairness
+        if args.check:
+            payload["check"] = {"passed": not check_errors, "errors": check_errors}
+        print(json.dumps(payload, indent=2))
+    else:
+        s = sres.summary()
+        rows = [
+            [pid, w["name"], w["first_epoch"], w["last_epoch"], w["epochs"], w["mean_ops"]]
+            for pid, w in s["workloads"].items()
+        ]
+        print(render_table(
+            ["pid", "workload", "first", "last", "epochs", "mean ops/epoch"],
+            rows,
+            title=(
+                f"scenario={s['scenario']} policy={s['policy']} seed={s['seed']} "
+                f"epochs={s['n_epochs']}"
+            ),
+            float_fmt="{:.3g}",
+        ))
+        print(
+            f"\nevents: {s['departures']} departures, {s['restarts']} restarts, "
+            f"{s['phase_shifts']} phase shifts, {s['qos_changes']} QoS changes, "
+            f"{s['capacity_events']} capacity events, {s['faults_fired']} faults fired"
+        )
+        print(
+            f"fairness under churn (window {args.window}): "
+            f"mean CFI {fairness['mean_cfi']:.3f}, min CFI {fairness['min_cfi']:.3f}"
+        )
+    if args.check:
+        for err in check_errors:
+            print(f"CHECK FAIL: {err}", file=sys.stderr)
+        if not check_errors:
+            print("all scenario checks passed", file=sys.stderr)
+        return 1 if check_errors else 0
+    return 0
+
+
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenario import SCENARIOS
+
+    rows = []
+    for name, builder in SCENARIOS.items():
+        spec = builder()
+        rows.append([
+            name,
+            spec.n_epochs,
+            len(spec.workloads),
+            len(spec.events),
+            spec.description,
+        ])
+    print(render_table(
+        ["name", "epochs", "workloads", "events", "description"],
+        rows,
+        title="canned scenarios (repro scenario run NAME)",
+    ))
     return 0
 
 
@@ -421,9 +550,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true", help="emit machine-readable JSON instead of tables")
     sweep.set_defaults(func=cmd_sweep)
 
+    scenario = sub.add_parser("scenario", help="scripted dynamic scenarios (churn, faults, capacity)")
+    scsub = scenario.add_subparsers(dest="scenario_command", required=True)
+    sc_run = scsub.add_parser("run", help="run a scenario and report fairness under churn")
+    sc_run.add_argument("name", nargs="?", default=None,
+                        help="canned scenario name (see `repro scenario list`)")
+    sc_run.add_argument("--spec", metavar="FILE", default=None,
+                        help="JSON ScenarioSpec file instead of a canned name")
+    sc_run.add_argument("--policy", default=None, choices=sorted(POLICY_REGISTRY),
+                        help="override the spec's policy")
+    sc_run.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    sc_run.add_argument("--epochs", type=int, default=None,
+                        help="override the spec's epoch count (must not cut off events)")
+    sc_run.add_argument("--window", type=int, default=WINDOW,
+                        help="windowed-CFI window in epochs (default 10)")
+    sc_run.add_argument("--json", action="store_true",
+                        help="emit the full ScenarioResult as JSON")
+    sc_run.add_argument("--trace", metavar="PATH", default=None,
+                        help="capture a Chrome trace (departures, faults, capacity events)")
+    sc_run.add_argument("--check", action="store_true",
+                        help="assert scenario invariants (leak checks, event counts); exit 1 on failure")
+    sc_run.set_defaults(func=cmd_scenario_run)
+    sc_list = scsub.add_parser("list", help="list canned scenarios")
+    sc_list.set_defaults(func=cmd_scenario_list)
+
     bench = sub.add_parser("bench", help="time the fixed Fig. 9 scenario (hot-path benchmark)")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke variant: fewer epochs, fewer accesses per thread")
+    bench.add_argument("--scenario", metavar="NAME", default=None,
+                       help="time a canned dynamic scenario instead of the static mix")
     bench.add_argument("--output", metavar="PATH", default="BENCH_colocation.json",
                        help="where to write the result JSON (default: repo root)")
     bench.add_argument("--check", metavar="BASELINE", default=None,

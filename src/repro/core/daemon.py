@@ -113,6 +113,17 @@ class VulcanDaemon:
         self.partition.unregister(pid)
         self.credits.drop(pid)
 
+    def set_fast_capacity(self, pages: int) -> None:
+        """Capacity event: the online fast-tier size changed.
+
+        Propagates to the QoS tracker (GPTs are derived from GFMC =
+        capacity / n) and the partition ledger (CBFRP partitions the new
+        capacity on the next tick).
+        """
+        pages = max(int(pages), 1)
+        self.qos.set_capacity(pages)
+        self.partition.set_capacity(pages)
+
     # -- per-epoch tick ----------------------------------------------------------
 
     def _sync_usage(self) -> None:

@@ -36,6 +36,17 @@ class PartitionLedger:
         self.quotas.pop(pid, None)
         self.usage.pop(pid, None)
 
+    def set_capacity(self, capacity_pages: int) -> None:
+        """Capacity event: the enforceable fast-tier size changed.
+
+        Standing quotas are left untouched — they may transiently exceed
+        the shrunken capacity until the next CBFRP pass installs a fresh
+        allocation that must fit the new value.
+        """
+        if capacity_pages <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_pages = capacity_pages
+
     def set_quotas(self, quotas: dict[int, int]) -> None:
         """Install a fresh CBFRP allocation (must fit capacity)."""
         total = sum(quotas.values())

@@ -188,6 +188,18 @@ class QosTracker:
         self.workloads[pid].rss_pages = rss_pages
         self._refresh_gpts()
 
+    def set_capacity(self, fast_capacity_pages: int) -> None:
+        """Fast-tier capacity changed (frames offlined/onlined).
+
+        GFMC — and with it every workload's GPT — is a function of the
+        *online* fast capacity, so a capacity event reshapes all
+        guarantees immediately.
+        """
+        if fast_capacity_pages <= 0:
+            raise ValueError("fast capacity must be positive")
+        self.fast_capacity_pages = fast_capacity_pages
+        self._refresh_gpts()
+
     def _refresh_gpts(self) -> None:
         n = len(self.workloads)
         if n == 0:

@@ -50,6 +50,10 @@ class BenchResult:
     epochs_per_sec: float
     peak_rss_kb: int
     result: ExperimentResult
+    #: replaces the default Fig. 9 scenario block (dynamic-scenario runs)
+    scenario_info: dict | None = None
+    #: extra deterministic metrics merged into "simulated"
+    extra_simulated: dict | None = None
 
     def to_dict(self) -> dict:
         alloc = {
@@ -60,8 +64,21 @@ class BenchResult:
             p: np.asarray(t.fthr_true[-WINDOW:], float)
             for p, t in self.result.workloads.items()
         }
+        simulated = {
+            "cfi": cfi(alloc, fthr),
+            "workloads": {
+                ts.name: {
+                    "mean_ops": float(np.mean(ts.ops[-WINDOW:])),
+                    "mean_fthr": float(np.mean(ts.fthr_true[-WINDOW:])),
+                    "fast_pages": ts.fast_pages[-1],
+                }
+                for ts in self.result.workloads.values()
+            },
+        }
+        if self.extra_simulated:
+            simulated.update(self.extra_simulated)
         return {
-            "scenario": {
+            "scenario": self.scenario_info or {
                 "policy": POLICY,
                 "mix": MIX,
                 "seed": SEED,
@@ -77,22 +94,19 @@ class BenchResult:
                 "epochs_per_sec": round(self.epochs_per_sec, 3),
                 "peak_rss_kb": self.peak_rss_kb,
             },
-            "simulated": {
-                "cfi": cfi(alloc, fthr),
-                "workloads": {
-                    ts.name: {
-                        "mean_ops": float(np.mean(ts.ops[-WINDOW:])),
-                        "mean_fthr": float(np.mean(ts.fthr_true[-WINDOW:])),
-                        "fast_pages": ts.fast_pages[-1],
-                    }
-                    for ts in self.result.workloads.values()
-                },
-            },
+            "simulated": simulated,
         }
 
 
-def run_bench(*, quick: bool = False) -> BenchResult:
-    """Run the pinned scenario once and time it."""
+def run_bench(*, quick: bool = False, scenario: str | None = None) -> BenchResult:
+    """Run the pinned scenario once and time it.
+
+    With ``scenario`` set, a canned dynamic scenario (``repro scenario
+    list``) is timed instead of the static Fig. 9 mix; the result file
+    then also records fairness-under-churn and the event tallies.
+    """
+    if scenario is not None:
+        return _run_scenario_bench(scenario)
     epochs = QUICK_EPOCHS if quick else EPOCHS
     apt = QUICK_ACCESSES_PER_THREAD if quick else ACCESSES_PER_THREAD
     sim = SimulationConfig(epoch_seconds=2.0)
@@ -110,6 +124,47 @@ def run_bench(*, quick: bool = False) -> BenchResult:
         epochs_per_sec=epochs / wall,
         peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         result=res,
+    )
+
+
+def _run_scenario_bench(name: str) -> BenchResult:
+    from repro.metrics.fairness import churn_fairness
+    from repro.scenario import get_scenario, run_scenario
+
+    spec = get_scenario(name)
+    t0 = time.perf_counter()
+    sres = run_scenario(spec)
+    wall = time.perf_counter() - t0
+    fairness = churn_fairness(sres.result, window=WINDOW)
+    apt = spec.workloads[0].accesses_per_thread
+    return BenchResult(
+        epochs=spec.n_epochs,
+        accesses_per_thread=apt,
+        wall_seconds=wall,
+        epochs_per_sec=spec.n_epochs / wall,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        result=sres.result,
+        scenario_info={
+            "scenario": name,
+            "spec_hash": sres.spec_hash,
+            "policy": sres.policy,
+            "seed": sres.seed,
+            "epochs": spec.n_epochs,
+            "accesses_per_thread": apt,
+        },
+        extra_simulated={
+            "fairness_under_churn": {
+                "mean_cfi": fairness["mean_cfi"],
+                "min_cfi": fairness["min_cfi"],
+                "window": fairness["window"],
+            },
+            "events": {
+                "departures": len(sres.departures),
+                "restarts": len(sres.restarts),
+                "faults_fired": len(sres.faults),
+                "leak_checks_passed": len(sres.leak_checks),
+            },
+        },
     )
 
 

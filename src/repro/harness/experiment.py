@@ -23,7 +23,7 @@ the figure benches can print exactly the series the paper plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import MISSING, dataclass, field, fields
 
 import numpy as np
 
@@ -72,6 +72,43 @@ class WorkloadTimeseries:
     quota: list[int] = field(default_factory=list)
 
     @property
+    def first_epoch(self) -> int:
+        """First epoch this workload was active (late arrivals start late)."""
+        return self.epochs[0] if self.epochs else -1
+
+    @property
+    def last_epoch(self) -> int:
+        """Last active epoch (a departed workload's series ends early)."""
+        return self.epochs[-1] if self.epochs else -1
+
+    def active_mask(self, n_epochs: int) -> np.ndarray:
+        """Boolean per-epoch presence over ``[0, n_epochs)``.
+
+        The recorded epochs need not be contiguous: a workload may
+        arrive late, depart early, or (in principle) skip epochs, and
+        every consumer that aligns series across workloads must go
+        through this mask rather than assume ``epochs == range(n)``.
+        """
+        mask = np.zeros(n_epochs, dtype=bool)
+        idx = np.asarray(self.epochs, dtype=np.int64)
+        mask[idx[(idx >= 0) & (idx < n_epochs)]] = True
+        return mask
+
+    def aligned(self, name: str, n_epochs: int, fill: float = np.nan) -> np.ndarray:
+        """One recorded series re-indexed onto the global epoch axis.
+
+        Returns a float array of length ``n_epochs`` holding ``fill``
+        (NaN by default) at epochs where this workload was absent —
+        the gap-tolerant view the fairness metrics consume.
+        """
+        out = np.full(n_epochs, fill, dtype=np.float64)
+        idx = np.asarray(self.epochs, dtype=np.int64)
+        vals = np.asarray(getattr(self, name), dtype=np.float64)
+        keep = (idx >= 0) & (idx < n_epochs)
+        out[idx[keep]] = vals[keep]
+        return out
+
+    @property
     def hot_ratio(self) -> np.ndarray:
         """Fraction of this workload's hot pages resident in fast memory."""
         hot = np.asarray(self.hot_pages, dtype=np.float64)
@@ -96,7 +133,24 @@ class WorkloadTimeseries:
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadTimeseries":
-        return cls(**{f.name: data[f.name] for f in fields(cls)})
+        """Tolerant inverse of :meth:`to_dict`.
+
+        A departed pid's payload may omit series (or whole fields, when
+        produced by an older writer); anything missing falls back to the
+        field default so short / gappy timeseries round-trip instead of
+        raising.  ``pid`` and ``name`` stay mandatory.
+        """
+        kwargs = {}
+        for f in fields(cls):
+            if f.name in data:
+                kwargs[f.name] = data[f.name]
+            elif f.default_factory is not MISSING:
+                kwargs[f.name] = f.default_factory()
+            elif f.default is not MISSING:
+                kwargs[f.name] = f.default
+            else:
+                raise KeyError(f"timeseries payload missing required field {f.name!r}")
+        return cls(**kwargs)
 
 
 @dataclass
@@ -142,9 +196,12 @@ class ExperimentResult:
         return cls(
             policy_name=data["policy_name"],
             n_epochs=data["n_epochs"],
-            workloads={int(pid): WorkloadTimeseries.from_dict(ts) for pid, ts in data["workloads"].items()},
-            free_fast_pages=list(data["free_fast_pages"]),
-            migration_cycles=list(data["migration_cycles"]),
+            workloads={
+                int(pid): WorkloadTimeseries.from_dict(ts)
+                for pid, ts in data.get("workloads", {}).items()
+            },
+            free_fast_pages=list(data.get("free_fast_pages", [])),
+            migration_cycles=list(data.get("migration_cycles", [])),
         )
 
 
@@ -184,19 +241,29 @@ class ColocationExperiment:
         self._active: dict[int, Workload] = {}
         self._spaces: dict[int, AddressSpace] = {}
         self._core_cursor = 0
+        #: core blocks returned by departed workloads, lowest first
+        self._free_core_blocks: list[int] = []
+        #: pid -> base core of its dedicated block (for teardown return)
+        self._core_base: dict[int, int] = {}
+        self._pending: list[Workload] = []
         self.epoch_cycles = seconds_to_cycles(self.sim.epoch_seconds)
 
     # -- admission ---------------------------------------------------------------
 
-    def _admit(self, wl: Workload, epoch: int) -> None:
+    def _admit(self, wl: Workload, epoch: int) -> int:
         pid = self._next_pid
         self._next_pid += 1
         proc = Process(pid=pid, name=wl.name, replication_enabled=self.policy.replication_enabled)
         n_threads = wl.spec.n_threads
-        base_core = self._core_cursor
-        if base_core + self.cores_per_workload > self.machine.cpu.n_cores:
-            raise RuntimeError("out of dedicated core blocks for new workloads")
-        self._core_cursor += self.cores_per_workload
+        if self._free_core_blocks:
+            # Reuse the lowest departed block before growing the cursor.
+            base_core = self._free_core_blocks.pop(0)
+        else:
+            base_core = self._core_cursor
+            if base_core + self.cores_per_workload > self.machine.cpu.n_cores:
+                raise RuntimeError("out of dedicated core blocks for new workloads")
+            self._core_cursor += self.cores_per_workload
+        self._core_base[pid] = base_core
         core_map: dict[int, int] = {}
         for tid in range(n_threads):
             proc.spawn_thread(tid)
@@ -231,72 +298,128 @@ class ColocationExperiment:
         )
         self._active[pid] = wl
         self._spaces[pid] = space
+        return pid
+
+    # -- teardown ----------------------------------------------------------------
+
+    def _retire(self, pid: int, epoch: int, reason: str = "depart") -> dict[str, int]:
+        """Full mid-run teardown of one workload (process exit).
+
+        Order matters: the policy unregisters first (Vulcan detaches the
+        pid from the daemon, so CBFRP re-partitions the freed credits on
+        the very next epoch's pass), then every frame reference leaves
+        the LRU machinery, then the allocator bulk-frees all frames the
+        pid owns — mapped, mid-migration, and retained shadows alike —
+        with its own no-leak/no-double-free invariant, and finally the
+        dedicated core block returns to the reuse pool.
+
+        Returns the allocator's per-state release counts.
+        """
+        if pid not in self._active:
+            raise KeyError(f"pid {pid} is not active")
+        wl = self._active.pop(pid)
+        self._spaces.pop(pid)
+        self.policy.unregister_workload(pid)
+        pfns = self.allocator.store.owned_frames(pid)
+        self.lru.forget_pages(pfns.tolist())
+        counts = self.allocator.free_pid(pid)
+        self.allocator.check_consistency()
+        base_core = self._core_base.pop(pid)
+        self._free_core_blocks.append(base_core)
+        self._free_core_blocks.sort()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.WORKLOAD_DEPART,
+                wl.name,
+                pid=pid,
+                args={"epoch": epoch, "reason": reason, "freed": counts},
+            )
+        tracer.metrics.counter("workload_departures", workload=pid).inc()
+        return counts
 
     # -- the loop ----------------------------------------------------------------
 
     def run(self, n_epochs: int) -> ExperimentResult:
         result = ExperimentResult(policy_name=self.policy.name, n_epochs=n_epochs)
-        pending = sorted(self.workload_defs, key=lambda w: w.spec.start_epoch)
+        self._pending = sorted(self.workload_defs, key=lambda w: w.spec.start_epoch)
         tracer = get_tracer()
         for epoch in range(n_epochs):
-            # 1. admissions
-            while pending and pending[0].spec.start_epoch <= epoch:
-                self._admit(pending.pop(0), epoch)
-
-            # Anchor the trace clock to the epoch boundary: migration
-            # charges advance it within the epoch, deterministically.
-            if tracer.enabled:
-                tracer.set_time(epoch * self.epoch_cycles)
-                tracer.emit(
-                    EventKind.EPOCH,
-                    "epoch",
-                    args={
-                        "epoch": epoch,
-                        "policy": self.policy.name,
-                        "free_fast_pages": self.allocator.free_frames(0),
-                        "workloads": {
-                            str(pid): wl.name for pid, wl in self._active.items()
-                        },
-                    },
-                )
-
-            # 2. traffic
-            epoch_hits: dict[int, tuple[int, int]] = {}
-            epoch_issue: dict[int, float] = {}
-            for pid, wl in self._active.items():
-                space = self._spaces[pid]
-                fast_total = 0
-                slow_total = 0
-                issued = 0
-                epoch_issue[pid] = wl.issue_rate(epoch)
-                for batch in wl.generate(epoch):
-                    f, s = space.record_batch(batch.vpns, batch.is_write, batch.tid, cycle=epoch)
-                    fast_total += f
-                    slow_total += s
-                    issued += batch.n
-                    self.policy.observe(batch)
-                    self.policy.record_tier_sample(pid, f, s)
-                epoch_hits[pid] = (fast_total, slow_total)
-
-            # 3. policy pass (migrations), informed of loaded latencies
-            utilization = self._tier_utilization(epoch_hits)
-            self.policy.note_tier_latency(
-                self.machine.fast.access_latency_cycles(utilization[0]),
-                self.machine.slow.access_latency_cycles(utilization[1]) + self.machine.link.added_latency_cycles,
-            )
-            with tracer.span("policy_epoch", epoch=epoch):
-                policy_result = self.policy.end_epoch()
-            result.migration_cycles.append(policy_result.migration_cycles)
-
-            # 4. record + performance
-            for pid, wl in self._active.items():
-                self._record_epoch(
-                    result, pid, wl, epoch, epoch_hits[pid], epoch_issue[pid],
-                    policy_result, utilization,
-                )
-            result.free_fast_pages.append(self.allocator.free_frames(0))
-            self._reset_page_epoch_counters()
+            self._step_epoch(result, epoch, tracer)
+        self._finish_run(result)
         return result
+
+    def _step_epoch(self, result: ExperimentResult, epoch: int, tracer) -> None:
+        """One full epoch: admissions → events → traffic → policy → record."""
+        # 1. admissions
+        while self._pending and self._pending[0].spec.start_epoch <= epoch:
+            self._admit(self._pending.pop(0), epoch)
+
+        # 1b. scripted mid-run events (scenario engine hook; no-op here)
+        self._apply_epoch_events(epoch)
+
+        # Anchor the trace clock to the epoch boundary: migration
+        # charges advance it within the epoch, deterministically.
+        if tracer.enabled:
+            tracer.set_time(epoch * self.epoch_cycles)
+            tracer.emit(
+                EventKind.EPOCH,
+                "epoch",
+                args={
+                    "epoch": epoch,
+                    "policy": self.policy.name,
+                    "free_fast_pages": self.allocator.free_frames(0),
+                    "workloads": {
+                        str(pid): wl.name for pid, wl in self._active.items()
+                    },
+                },
+            )
+
+        # 2. traffic
+        epoch_hits, epoch_issue = self._generate_traffic(epoch)
+
+        # 3. policy pass (migrations), informed of loaded latencies
+        utilization = self._tier_utilization(epoch_hits)
+        self.policy.note_tier_latency(
+            self.machine.fast.access_latency_cycles(utilization[0]),
+            self.machine.slow.access_latency_cycles(utilization[1]) + self.machine.link.added_latency_cycles,
+        )
+        with tracer.span("policy_epoch", epoch=epoch):
+            policy_result = self.policy.end_epoch()
+        result.migration_cycles.append(policy_result.migration_cycles)
+
+        # 4. record + performance
+        for pid, wl in self._active.items():
+            self._record_epoch(
+                result, pid, wl, epoch, epoch_hits[pid], epoch_issue[pid],
+                policy_result, utilization,
+            )
+        result.free_fast_pages.append(self.allocator.free_frames(0))
+        self._reset_page_epoch_counters()
+
+    def _generate_traffic(self, epoch: int) -> tuple[dict[int, tuple[int, int]], dict[int, float]]:
+        """Drive every active workload's access batches through the system."""
+        epoch_hits: dict[int, tuple[int, int]] = {}
+        epoch_issue: dict[int, float] = {}
+        for pid, wl in self._active.items():
+            space = self._spaces[pid]
+            fast_total = 0
+            slow_total = 0
+            epoch_issue[pid] = wl.issue_rate(epoch)
+            for batch in wl.generate(epoch):
+                f, s = space.record_batch(batch.vpns, batch.is_write, batch.tid, cycle=epoch)
+                fast_total += f
+                slow_total += s
+                self.policy.observe(batch)
+                self.policy.record_tier_sample(pid, f, s)
+            epoch_hits[pid] = (fast_total, slow_total)
+        return epoch_hits, epoch_issue
+
+    def _apply_epoch_events(self, epoch: int) -> None:
+        """Scenario hook: scripted mid-run events land here (default none)."""
+
+    def _finish_run(self, result: ExperimentResult) -> None:
+        """End-of-run hook (scenario engine adds final invariant checks)."""
 
     # -- helpers -------------------------------------------------------------------
 

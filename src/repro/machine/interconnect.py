@@ -27,6 +27,28 @@ class Interconnect:
         if self.added_latency_ns < 0:
             raise ValueError("added latency cannot be negative")
         self.bytes_transferred = 0
+        self._nominal = (self.bandwidth_gbps, self.added_latency_ns)
+
+    @property
+    def degraded(self) -> bool:
+        return (self.bandwidth_gbps, self.added_latency_ns) != self._nominal
+
+    def degrade(self, *, bandwidth_factor: float = 1.0, latency_factor: float = 1.0) -> None:
+        """Capacity event: the link loses bandwidth and/or gains latency.
+
+        Factors are applied to the *nominal* values, so repeated calls
+        re-specify (rather than compound) the degradation.
+        """
+        if bandwidth_factor <= 0 or bandwidth_factor > 1:
+            raise ValueError("bandwidth_factor must lie in (0, 1]")
+        if latency_factor < 1:
+            raise ValueError("latency_factor must be >= 1")
+        self.bandwidth_gbps = self._nominal[0] * bandwidth_factor
+        self.added_latency_ns = self._nominal[1] * latency_factor
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade` — back to nominal link parameters."""
+        self.bandwidth_gbps, self.added_latency_ns = self._nominal
 
     @property
     def added_latency_cycles(self) -> int:

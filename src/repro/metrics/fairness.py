@@ -59,3 +59,62 @@ def cfi(alloc_timeseries: dict[int, np.ndarray], fthr_timeseries: dict[int, np.n
             raise ValueError(f"pid {pid}: alloc and FTHR lengths differ")
         totals.append(float(np.sum(a * f)))
     return jain_index(totals)
+
+
+def windowed_cfi(result, window: int = 10) -> list[dict]:
+    """Eq. 4 computed per time window, tolerating churn.
+
+    Under a dynamic scenario the set of live workloads changes mid-run,
+    so a single whole-run CFI conflates "unfair" with "absent".  This
+    slices the run into ``[start, start+window)`` windows and scores
+    each over only the workloads active *in that window* (a pid
+    contributes the epochs it was actually present for, via the
+    gap-tolerant :meth:`WorkloadTimeseries.aligned` view).
+
+    ``result`` is duck-typed: anything with ``n_epochs`` and a
+    ``workloads`` mapping of timeseries exposing ``aligned(name, n)``.
+    Windows where fewer than one workload was active are skipped.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = result.n_epochs
+    out: list[dict] = []
+    for start in range(0, n, window):
+        end = min(start + window, n)
+        totals: list[float] = []
+        pids: list[int] = []
+        for pid, ts in result.workloads.items():
+            alloc = ts.aligned("fast_pages", n)[start:end]
+            fthr = ts.aligned("fthr_true", n)[start:end]
+            present = ~np.isnan(alloc)
+            if not present.any():
+                continue
+            pids.append(pid)
+            totals.append(float(np.nansum(alloc * fthr)))
+        if not pids:
+            continue
+        out.append({
+            "start": start,
+            "end": end,
+            "pids": pids,
+            "n_active": len(pids),
+            "cfi": jain_index(totals),
+        })
+    return out
+
+
+def churn_fairness(result, window: int = 10) -> dict:
+    """Fairness-under-churn summary: windowed CFI plus headline stats.
+
+    ``min_cfi`` is the interesting number — a scheduler can look fair
+    on average while starving someone during the reshuffle right after
+    a departure or capacity event.
+    """
+    windows = windowed_cfi(result, window=window)
+    values = [w["cfi"] for w in windows]
+    return {
+        "window": window,
+        "windows": windows,
+        "mean_cfi": float(np.mean(values)) if values else 1.0,
+        "min_cfi": float(np.min(values)) if values else 1.0,
+    }

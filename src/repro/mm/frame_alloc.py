@@ -19,7 +19,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mm.page import PageState, PhysPage
-from repro.mm.page_store import STATE_MAPPED, STATE_MIGRATING, PageStatsStore
+from repro.mm.page_store import (
+    STATE_FREE,
+    STATE_MAPPED,
+    STATE_MIGRATING,
+    STATE_SHADOW,
+    PageStatsStore,
+)
 
 
 class OutOfFramesError(RuntimeError):
@@ -35,6 +41,8 @@ class TierFrames:
     total: int
     low_watermark_frac: float = 0.02
     high_watermark_frac: float = 0.05
+    #: frames administratively removed from service (capacity events)
+    offline: int = 0
 
     def __post_init__(self) -> None:
         if self.total <= 0:
@@ -48,16 +56,21 @@ class TierFrames:
         return len(self.free_list)
 
     @property
+    def online(self) -> int:
+        """Frames currently in service (installed minus offlined)."""
+        return self.total - self.offline
+
+    @property
     def used(self) -> int:
-        return self.total - self.free
+        return self.online - self.free
 
     @property
     def low_watermark(self) -> int:
-        return int(self.total * self.low_watermark_frac)
+        return int(self.online * self.low_watermark_frac)
 
     @property
     def high_watermark(self) -> int:
-        return int(self.total * self.high_watermark_frac)
+        return int(self.online * self.high_watermark_frac)
 
     def below_low_watermark(self) -> bool:
         return self.free < self.low_watermark
@@ -91,6 +104,9 @@ class FrameAllocator:
         self.store = PageStatsStore(fast_frames + slow_frames, fast_frames)
         self.store.in_free_list[:] = True
         self._pages: dict[int, PhysPage] = {}
+        #: frames taken out of service by capacity events (still FREE,
+        #: but neither allocatable nor on any free list)
+        self._offline: set[int] = set()
 
     def tier_of_pfn(self, pfn: int) -> int:
         """Which tier a PFN belongs to (contiguous partitioning)."""
@@ -136,6 +152,105 @@ class FrameAllocator:
         page.detach()
         tier.free_list.append(pfn)
         self.store.in_free_list[pfn] = True
+
+    def free_pid(self, pid: int) -> dict[str, int]:
+        """Bulk-release every frame owned by ``pid`` (process teardown).
+
+        Covers MAPPED and MIGRATING frames (the page-table walk) *and*
+        SHADOW frames — retained slow-tier twins, including stale ones
+        whose fast copy diverged — so a departed workload leaves zero
+        frames behind.  Frames are freed in ascending PFN order, keeping
+        free-list contents deterministic.
+
+        Returns per-state/per-tier release counts and raises if the scan
+        finds a frame already on a free list (double free) or leaves any
+        frame still bound to ``pid`` (leak).
+        """
+        st = self.store
+        owned = st.owned_frames(pid)
+        counts = {
+            "mapped": int((st.state[owned] == STATE_MAPPED).sum()),
+            "migrating": int((st.state[owned] == STATE_MIGRATING).sum()),
+            "shadow": int((st.state[owned] == STATE_SHADOW).sum()),
+            "fast": int((owned < self._fast_frames).sum()),
+            "slow": int((owned >= self._fast_frames).sum()),
+        }
+        for pfn in owned.tolist():
+            if st.in_free_list[pfn]:
+                raise RuntimeError(f"teardown double free: pfn {pfn} of pid {pid}")
+            self.free(pfn)
+        leaked = st.owned_frames(pid)
+        if leaked.size:
+            raise RuntimeError(
+                f"teardown leaked {leaked.size} frames of pid {pid}: {leaked[:8].tolist()}"
+            )
+        return counts
+
+    def offline_frames(self, tier_id: int, n: int) -> list[int]:
+        """Take up to ``n`` free frames of a tier out of service.
+
+        Frames are popped from the *tail* of the free list so the
+        allocation order of the remaining frames is undisturbed.  Only
+        free frames can be offlined; if fewer than ``n`` are free the
+        call offlines what it can (the caller reads the returned list
+        for the actual count).
+        """
+        tier = self.tiers[tier_id]
+        take = min(n, tier.free)
+        taken = [tier.free_list.pop() for _ in range(take)]
+        for pfn in taken:
+            self.store.in_free_list[pfn] = False
+            self._offline.add(pfn)
+        tier.offline += take
+        return sorted(taken)
+
+    def online_frames(self, tier_id: int, n: int | None = None) -> int:
+        """Return offlined frames of a tier to service (ascending PFN)."""
+        tier = self.tiers[tier_id]
+        avail = sorted(p for p in self._offline if self.tier_of_pfn(p) == tier_id)
+        if n is not None:
+            avail = avail[:n]
+        for pfn in avail:
+            self._offline.discard(pfn)
+            tier.free_list.append(pfn)
+            self.store.in_free_list[pfn] = True
+        tier.offline -= len(avail)
+        return len(avail)
+
+    def check_consistency(self) -> None:
+        """Cross-check free lists against the store's free-list bitmap.
+
+        Invariants: each tier's free list holds exactly the in-tier PFNs
+        whose ``in_free_list`` bit is set; every FREE-state frame is
+        either on a free list or offline; no live frame is on a free
+        list.  Raises ``RuntimeError`` on the first violation.
+        """
+        st = self.store
+        for tier in self.tiers:
+            span = slice(tier.base_pfn, tier.base_pfn + tier.total)
+            bitmap = set((np.flatnonzero(st.in_free_list[span]) + tier.base_pfn).tolist())
+            listed = set(tier.free_list)
+            if listed != bitmap:
+                raise RuntimeError(
+                    f"tier {tier.tier_id} free list and bitmap disagree: "
+                    f"{len(listed)} listed vs {len(bitmap)} flagged"
+                )
+            if len(tier.free_list) != len(listed):
+                raise RuntimeError(f"tier {tier.tier_id} free list has duplicates")
+            if tier.offline != sum(1 for p in self._offline if self.tier_of_pfn(p) == tier.tier_id):
+                raise RuntimeError(f"tier {tier.tier_id} offline count out of sync")
+        free_state = st.state == STATE_FREE
+        flagged = st.in_free_list
+        offline = np.zeros(st.n_frames, dtype=bool)
+        if self._offline:
+            offline[sorted(self._offline)] = True
+        if bool((flagged & ~free_state).any()):
+            raise RuntimeError("live frame present on a free list")
+        unaccounted = free_state & ~flagged & ~offline
+        if bool(unaccounted.any()):
+            raise RuntimeError(
+                f"{int(unaccounted.sum())} FREE frames neither listed nor offline"
+            )
 
     def free_frames(self, tier_id: int) -> int:
         return self.tiers[tier_id].free

@@ -157,6 +157,33 @@ class LruSubsystem:
         global LRU (i.e. not stuck in some CPU's pagevec)."""
         return pfn in self.lists[tier_id]
 
+    def forget_pages(self, pfns) -> int:
+        """Drop pages from every pagevec and global list (teardown).
+
+        A departing process's frames may sit anywhere in the LRU
+        machinery — buffered in a per-CPU pagevec, or on either tier's
+        global lists — and none of those locations may keep a reference
+        once the frames return to the allocator.  Returns how many
+        entries were removed.
+        """
+        pfn_set = {int(p) for p in pfns}
+        if not pfn_set:
+            return 0
+        removed = 0
+        for vec in self.pagevecs:
+            if not vec.pending:
+                continue
+            kept = [p for p in vec.pending if p not in pfn_set]
+            removed += len(vec.pending) - len(kept)
+            vec.pending = deque(kept)
+        for pfn in sorted(pfn_set):
+            self._pending_tier.pop(pfn, None)
+            for lst in self.lists:
+                if pfn in lst:
+                    lst.remove(pfn)
+                    removed += 1
+        return removed
+
     def move_tier(self, pfn: int, from_tier: int, to_tier: int) -> None:
         """Relink a migrated page onto its new tier's LRU."""
         if pfn in self.lists[from_tier]:

@@ -64,7 +64,29 @@ class MigrationOutcome(enum.Enum):
     SUCCESS = "success"
     RETRIED = "retried"  # transactional copy restarted at least once
     FELL_BACK_SYNC = "fell_back_sync"  # transactional gave up, went sync
-    FAILED = "failed"  # no destination frame
+    FAILED = "failed"  # no destination frame, or an injected fault
+
+
+class FaultKind(enum.Enum):
+    """Typed injected-fault outcomes (scenario fault model).
+
+    Each names the way a migration dies and what the engine must absorb
+    without corrupting page state:
+
+    * ``ABORTED_SYNC`` — a blocking migration aborts mid-copy (page
+      pinned / refcount raced): the work up to the abort is wasted stall,
+      the PTE is restored at the source, the destination frame freed.
+    * ``LOST_ASYNC`` — a background (transactional) work item is dropped
+      before commit: a full copy's worth of cycles wasted off the
+      critical path, source stays mapped, destination freed.
+    * ``POISONED_SHADOW`` — a retained slow-tier twin is found corrupt
+      exactly when a remap-demotion wants it: the shadow is discarded
+      and the demotion falls back to a full copy.
+    """
+
+    ABORTED_SYNC = "aborted_sync"
+    LOST_ASYNC = "lost_async"
+    POISONED_SHADOW = "poisoned_shadow"
 
 
 @dataclass
@@ -95,6 +117,8 @@ class MigrationStats:
     sync_fallbacks: int = 0
     failures: int = 0
     shadow_remaps: int = 0
+    #: injected faults absorbed, keyed by FaultKind value
+    faults_injected: dict[str, int] = field(default_factory=dict)
     total_cycles: float = 0.0
     stall_cycles: float = 0.0  # cycles application threads were blocked
     phase_cycles: dict[str, float] = field(
@@ -149,6 +173,12 @@ class MigrationEngine:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = MigrationStats()
         self._tracer = get_tracer()
+        #: scenario-attached fault source; any object with
+        #: ``roll(kind: FaultKind, pid: int, vpn: int) -> bool``.  None
+        #: (the default) means the fault paths are completely inert —
+        #: no RNG draws happen, so fault-free runs are bit-identical to
+        #: runs of builds without fault injection.
+        self.fault_injector = None
 
     # -- phase helpers -------------------------------------------------------
 
@@ -256,12 +286,24 @@ class MigrationEngine:
             and req.dest_tier == 1
             and self.shadow.can_remap_demote(src_pfn, dirty=pte_mod.pte_is_dirty(value))
         ):
-            return self._demote_via_shadow(req, value, src_pfn)
+            if self._roll_fault(FaultKind.POISONED_SHADOW, req):
+                # The retained copy is corrupt: discard it and fall
+                # through to a full-copy demotion.
+                stale = self.shadow.poison(src_pfn)
+                if stale is not None:
+                    self.allocator.free(stale)
+            else:
+                return self._demote_via_shadow(req, value, src_pfn)
 
         dest_page = self._alloc_dest(req.dest_tier)
         if dest_page is None:
             self.stats.failures += 1
             return MigrationOutcome.FAILED
+
+        if req.sync and self._roll_fault(FaultKind.ABORTED_SYNC, req):
+            return self._abort_sync(req, dest_page.pfn)
+        if not req.sync and self._roll_fault(FaultKind.LOST_ASYNC, req):
+            return self._lose_async(req, src_pfn, dest_page.pfn)
 
         if req.sync:
             outcome = self._copy_sync(req, value, src_pfn, dest_page.pfn)
@@ -333,6 +375,66 @@ class MigrationEngine:
             return False
         p_dirty = 1.0 - float(np.exp(-lam * window_cycles))
         return bool(self.rng.random() < p_dirty)
+
+    # -- injected faults ---------------------------------------------------------
+
+    def _roll_fault(self, kind: FaultKind, req: MigrationRequest) -> bool:
+        """Ask the attached injector whether this migration faults.
+
+        With no injector attached this is a pure branch — no RNG state
+        is consumed, preserving bit-identical fault-free runs.
+        """
+        inj = self.fault_injector
+        if inj is None or not inj.roll(kind, pid=req.pid, vpn=req.vpn):
+            return False
+        self.stats.faults_injected[kind.value] = (
+            self.stats.faults_injected.get(kind.value, 0) + 1
+        )
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.FAULT_INJECTED,
+                kind.value,
+                pid=req.pid,
+                args={"kind": kind.value, "vpn": req.vpn, "dest_tier": req.dest_tier},
+            )
+        tracer.metrics.counter("faults_injected", workload=req.pid, kind=kind.value).inc()
+        return True
+
+    def _abort_sync(self, req: MigrationRequest, dest_pfn: int) -> MigrationOutcome:
+        """A blocking migration dies mid-copy and unwinds.
+
+        The page was already unmapped and shot down, and roughly half
+        the copy ran before the abort — all of it stall — then the PTE
+        is restored at the source.  The source frame never changed
+        state, so restoring is remap cost only; page state is intact.
+        """
+        self._charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        tlb_cycles, _ = self._shootdown(req.vpn)
+        self._charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
+        wasted_copy = self.costs.batch_copy_cycles(1) * 0.5
+        self._charge(MigrationPhase.COPY, wasted_copy)
+        self._charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self.stats.stall_cycles += tlb_cycles + wasted_copy
+        self.allocator.free(dest_pfn)
+        self.stats.failures += 1
+        return MigrationOutcome.FAILED
+
+    def _lose_async(self, req: MigrationRequest, src_pfn: int, dest_pfn: int) -> MigrationOutcome:
+        """A transactional work item is dropped before commit.
+
+        The copy ran in the background (full copy cycles wasted, no
+        stall — the page stayed mapped the whole time) but the commit
+        never happened: the destination is freed and the source simply
+        remains the live mapping.
+        """
+        src_page = self.allocator.page(src_pfn)
+        src_page.state = PageState.MIGRATING
+        self._charge(MigrationPhase.COPY, self.costs.batch_copy_cycles(1))
+        src_page.state = PageState.MAPPED
+        self.allocator.free(dest_pfn)
+        self.stats.failures += 1
+        return MigrationOutcome.FAILED
 
     # -- shadow demotion ---------------------------------------------------------
 

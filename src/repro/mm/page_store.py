@@ -129,6 +129,16 @@ class PageStatsStore:
         live = (self.state == STATE_MAPPED) | (self.state == STATE_MIGRATING)
         return np.flatnonzero(live & (self.pid == pid))
 
+    def owned_frames(self, pid: int) -> np.ndarray:
+        """Every non-free frame bound to ``pid``, ascending.
+
+        Unlike :meth:`frames_of_pid` this *includes* SHADOW frames: a
+        retained slow-tier twin still belongs to the process that
+        promoted it, and teardown must reclaim it too (otherwise stale
+        shadows leak when their owner exits).
+        """
+        return np.flatnonzero((self.pid == pid) & (self.state != STATE_FREE))
+
     def fast_usage(self, pid: int) -> int:
         """How many fast-tier frames ``pid`` maps (PTE-walk equivalent)."""
         pfns = self.frames_of_pid(pid)

@@ -23,6 +23,7 @@ class ShadowStats:
     invalidated_by_write: int = 0
     remap_demotions: int = 0
     reclaimed: int = 0
+    poisoned: int = 0
 
 
 @dataclass
@@ -85,6 +86,19 @@ class ShadowTracker:
         """Use the shadow as the demotion destination (remap-demote)."""
         shadow_pfn = self._shadows.pop(fast_pfn)
         self.stats.remap_demotions += 1
+        return shadow_pfn
+
+    def poison(self, fast_pfn: int) -> int | None:
+        """Fault injection: the retained slow-tier copy is corrupt.
+
+        Unlike :meth:`on_write` the frame is handed straight back to the
+        caller (not parked in the stale set) — a poisoned copy must be
+        discarded immediately, and the demotion that wanted it falls
+        back to a full copy.  Returns the poisoned slow pfn or ``None``.
+        """
+        shadow_pfn = self._shadows.pop(fast_pfn, None)
+        if shadow_pfn is not None:
+            self.stats.poisoned += 1
         return shadow_pfn
 
     def drain_stale(self) -> list[int]:

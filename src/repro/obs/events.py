@@ -34,6 +34,18 @@ class EventKind(str, enum.Enum):
     QUEUE_DEMOTION = "queue_demotion"
     #: an epoch boundary in the harness loop
     EPOCH = "epoch"
+    #: a workload was torn down mid-run (scenario departure)
+    WORKLOAD_DEPART = "workload_depart"
+    #: a departed workload was re-admitted under a fresh pid
+    WORKLOAD_RESTART = "workload_restart"
+    #: a live workload's service class / GPT changed
+    QOS_CHANGE = "qos_change"
+    #: fast-tier frames went offline/online or the interconnect degraded
+    CAPACITY_CHANGE = "capacity_change"
+    #: a live workload's access pattern was reshaped (scenario phase shift)
+    PHASE_SHIFT = "phase_shift"
+    #: a migration fault was injected (aborted-sync / lost-async / poisoned-shadow)
+    FAULT_INJECTED = "fault_injected"
     #: a named duration (``tracer.span``)
     SPAN = "span"
     #: a named point event (``tracer.instant``)

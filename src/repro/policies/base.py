@@ -154,10 +154,34 @@ class TieringPolicy:
         rt = self.workloads.pop(pid, None)
         if rt is not None:
             rt.profiler.forget(pid)
+            self._prev_stall.pop(pid, None)
+            self._prev_migration_cycles.pop(pid, None)
+            self._prev_app_overhead.pop(pid, None)
             self._on_unregister(rt)
 
     def _on_unregister(self, rt: WorkloadRuntime) -> None:
         """Subclass hook."""
+
+    def update_service(self, pid: int, service: ServiceClass) -> ServiceClass:
+        """QoS change on a live workload; returns the old class."""
+        rt = self.workloads.get(pid)
+        if rt is None:
+            raise KeyError(f"pid {pid} not registered")
+        old = rt.service
+        rt.service = service
+        self._on_service_change(rt, old)
+        return old
+
+    def _on_service_change(self, rt: WorkloadRuntime, old: ServiceClass) -> None:
+        """Subclass hook: propagate a service-class change inward."""
+
+    def note_fast_capacity(self, online_pages: int) -> None:
+        """Capacity event: online fast-tier pages changed (harness hook).
+
+        Base policies need nothing — they allocate against free-frame
+        watermarks, which already reflect offlined frames.  Vulcan
+        re-derives GPTs and the CBFRP partition base.
+        """
 
     def observe(self, batch: AccessBatch) -> None:
         """Feed one thread's epoch accesses to the workload's profiler."""

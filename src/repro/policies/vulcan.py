@@ -94,6 +94,18 @@ class VulcanPolicy(TieringPolicy):
 
     def _on_unregister(self, rt: WorkloadRuntime) -> None:
         self.daemon.detach(rt.pid)
+        self._prev_moved.pop(rt.pid, None)
+        self._prev_links.pop(rt.pid, None)
+
+    def _on_service_change(self, rt: WorkloadRuntime, old) -> None:
+        # The daemon holds its own handle object; both views must agree
+        # or CBFRP would keep partitioning under the stale class.
+        handle = self.daemon.workloads.get(rt.pid)
+        if handle is not None:
+            handle.service = rt.service
+
+    def note_fast_capacity(self, online_pages: int) -> None:
+        self.daemon.set_fast_capacity(online_pages)
 
     def record_tier_sample(self, pid: int, fast: int, slow: int) -> None:
         super().record_tier_sample(pid, fast, slow)

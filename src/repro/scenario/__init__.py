@@ -1,0 +1,29 @@
+"""Scripted dynamic scenarios: churn, phase shifts, capacity events,
+QoS changes, and fault injection over the co-location harness."""
+
+from repro.scenario.engine import ScenarioExperiment, ScenarioResult, build_workload, run_scenario
+from repro.scenario.faults import FaultInjector
+from repro.scenario.library import SCENARIOS, get_scenario, scenario_names
+from repro.scenario.spec import (
+    FAULT_KEYS,
+    ScenarioEvent,
+    ScenarioSpec,
+    ScenarioSpecError,
+    WorkloadDef,
+)
+
+__all__ = [
+    "FAULT_KEYS",
+    "FaultInjector",
+    "SCENARIOS",
+    "ScenarioEvent",
+    "ScenarioExperiment",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "WorkloadDef",
+    "build_workload",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+]

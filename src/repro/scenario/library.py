@@ -1,0 +1,153 @@
+"""Canned scenarios (DESIGN.md §scenario, README table).
+
+Each is a ready-to-run :class:`ScenarioSpec` sized for CI: small thread
+counts and access budgets, 32 GiB fast tier (3200 pages), combined RSS
+deliberately exceeding it so tiering pressure — the thing dynamic events
+perturb — is always present.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.spec import ScenarioEvent, ScenarioSpec, WorkloadDef
+
+
+def _mc(key: str = "mc", rss: int = 1400, start: int = 0) -> WorkloadDef:
+    return WorkloadDef(key=key, kind="memcached", service="LC", rss_pages=rss, start_epoch=start)
+
+
+def _pr(key: str = "pr", rss: int = 1100, start: int = 0) -> WorkloadDef:
+    return WorkloadDef(key=key, kind="pagerank", service="BE", rss_pages=rss, start_epoch=start)
+
+
+def _ll(key: str = "ll", rss: int = 1300, start: int = 0) -> WorkloadDef:
+    return WorkloadDef(key=key, kind="liblinear", service="BE", rss_pages=rss, start_epoch=start)
+
+
+def churn() -> ScenarioSpec:
+    """Staggered arrivals, two departures, one restart, a fault window.
+
+    The acceptance scenario: every teardown must leave zero leaked
+    frames and CBFRP must re-partition the freed credits within one
+    epoch of each departure.
+    """
+    return ScenarioSpec(
+        name="churn",
+        description="staggered arrivals, 2 departures, 1 restart, mid-run faults",
+        n_epochs=40,
+        seed=1,
+        workloads=(_mc(start=0), _pr(start=5), _ll(start=10)),
+        events=(
+            ScenarioEvent(epoch=8, action="faults_set",
+                          params={"aborted_sync": 0.2, "lost_async": 0.25, "poisoned_shadow": 0.2}),
+            ScenarioEvent(epoch=15, action="depart", target="pr"),
+            ScenarioEvent(epoch=20, action="depart", target="ll"),
+            ScenarioEvent(epoch=24, action="restart", target="pr"),
+            ScenarioEvent(epoch=30, action="faults_clear"),
+        ),
+    ).validate()
+
+
+def flash_crowd() -> ScenarioSpec:
+    """The LC service's hot set balloons mid-run, then recedes.
+
+    Tests phase-shift handling: the memcached working set triples while
+    a late-arriving batch job competes for the freed-then-reclaimed
+    fast tier.
+    """
+    return ScenarioSpec(
+        name="flash_crowd",
+        description="LC hot-set balloons 3x mid-run while a batch job arrives",
+        n_epochs=36,
+        seed=1,
+        workloads=(_mc(rss=1600, start=0), _pr(rss=1200, start=4), _ll(rss=1200, start=18)),
+        events=(
+            ScenarioEvent(epoch=10, action="phase_shift", target="mc",
+                          params={"attrs": {"hot_frac": 0.30, "idle_rate": 0.8}}),
+            ScenarioEvent(epoch=26, action="phase_shift", target="mc",
+                          params={"attrs": {"hot_frac": 0.10, "idle_rate": 0.35}}),
+        ),
+    ).validate()
+
+
+def degraded_tier() -> ScenarioSpec:
+    """Fast tier loses a quarter of its frames, then the link degrades.
+
+    Tests capacity events: CBFRP's partition base and the QoS GPTs must
+    track the online capacity down and back up.
+    """
+    return ScenarioSpec(
+        name="degraded_tier",
+        description="fast tier loses 800 pages, link degrades, both recover",
+        n_epochs=36,
+        seed=1,
+        workloads=(_mc(start=0), _pr(start=0), _ll(start=0)),
+        events=(
+            ScenarioEvent(epoch=10, action="tier_offline", params={"pages": 800}),
+            ScenarioEvent(epoch=14, action="link_degrade",
+                          params={"bandwidth_factor": 0.4, "latency_factor": 2.0}),
+            ScenarioEvent(epoch=22, action="link_restore"),
+            ScenarioEvent(epoch=26, action="tier_online"),
+        ),
+    ).validate()
+
+
+def noisy_neighbor_restart() -> ScenarioSpec:
+    """The streaming monopolist dies, restarts, then gets promoted to LC.
+
+    Tests restart teardown/rebuild plus a live QoS reclassification:
+    the paper's cold-page-dilemma aggressor becomes latency-critical
+    and CBFRP must start honouring its GPT.
+    """
+    return ScenarioSpec(
+        name="noisy_neighbor_restart",
+        description="liblinear departs, restarts, then is reclassified LC",
+        n_epochs=36,
+        seed=1,
+        workloads=(_mc(start=0), _pr(start=0), _ll(start=2)),
+        events=(
+            ScenarioEvent(epoch=12, action="depart", target="ll"),
+            ScenarioEvent(epoch=16, action="restart", target="ll"),
+            ScenarioEvent(epoch=24, action="qos_change", target="ll", params={"service": "LC"}),
+        ),
+    ).validate()
+
+
+def fault_storm() -> ScenarioSpec:
+    """Sustained high-probability migration faults of every kind.
+
+    Tests fault absorption: page state must stay consistent while a
+    third of all migrations die in typed ways, and throughput must
+    recover once the storm clears.
+    """
+    return ScenarioSpec(
+        name="fault_storm",
+        description="30% of migrations fault (all kinds) for 22 epochs",
+        n_epochs=36,
+        seed=1,
+        workloads=(_mc(start=0), _pr(start=0), _ll(start=0)),
+        events=(
+            ScenarioEvent(epoch=4, action="faults_set",
+                          params={"aborted_sync": 0.3, "lost_async": 0.3, "poisoned_shadow": 0.3}),
+            ScenarioEvent(epoch=26, action="faults_clear"),
+        ),
+    ).validate()
+
+
+SCENARIOS = {
+    "churn": churn,
+    "flash_crowd": flash_crowd,
+    "degraded_tier": degraded_tier,
+    "noisy_neighbor_restart": noisy_neighbor_restart,
+    "fault_storm": fault_storm,
+}
+
+
+def scenario_names() -> list[str]:
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r} (have: {', '.join(SCENARIOS)})") from None

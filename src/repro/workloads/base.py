@@ -61,6 +61,26 @@ class Workload:
     def _on_bind(self) -> None:
         """Subclass hook (e.g. build index structures over the VMA)."""
 
+    def reshape(self, attrs: dict | None = None, reseed: int | None = None) -> None:
+        """Scenario phase shift: mutate generator knobs on a live workload.
+
+        ``attrs`` assigns existing generator attributes (e.g. a
+        Memcached ``hot_frac`` resize or a Zipf skew change); ``reseed``
+        replaces the layout seed.  Either way :meth:`_on_bind` re-runs
+        so derived structures (hot-set permutations, samplers) are
+        rebuilt over the *same* VMA — the process, its pages, and its
+        profile history all survive; only future traffic changes shape.
+        """
+        if self.pid is None or self.vma is None:
+            raise RuntimeError(f"workload {self.name!r} not bound to a process")
+        for name, value in (attrs or {}).items():
+            if name.startswith("_") or not hasattr(self, name):
+                raise AttributeError(f"{type(self).__name__} has no reshapeable attribute {name!r}")
+            setattr(self, name, value)
+        if reseed is not None:
+            self.seed = int(reseed)
+        self._on_bind()
+
     @property
     def name(self) -> str:
         return self.spec.name

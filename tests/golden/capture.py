@@ -42,7 +42,25 @@ def main() -> int:
         }
         path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
         print(f"wrote {path.name}")
+    capture_scenario()
     return 0
+
+
+def capture_scenario() -> None:
+    """Freeze the canned churn scenario: the full ScenarioResult —
+    departures, restarts, fault records, leak checks, and the base
+    metrics — pinned bit-for-bit under dynamic events."""
+    from repro.scenario import get_scenario, run_scenario
+
+    spec = get_scenario("churn")
+    sres = run_scenario(spec)
+    path = GOLDEN_DIR / "scenario_churn.json"
+    payload = {
+        "config": {"scenario": "churn", "spec_hash": spec.content_hash()},
+        "scenario_result": sres.to_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path.name}")
 
 
 if __name__ == "__main__":

@@ -67,3 +67,77 @@ class TestCfi:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             cfi({1: np.array([1.0, 2.0])}, {1: np.array([1.0])})
+
+
+# -- windowed fairness under churn -----------------------------------------------
+
+from repro.harness.experiment import ExperimentResult, WorkloadTimeseries
+from repro.metrics.fairness import churn_fairness, windowed_cfi
+
+
+def _ts(pid, name, epochs, alloc, fthr=None):
+    n = len(epochs)
+    return WorkloadTimeseries(
+        pid=pid, name=name, epochs=list(epochs),
+        fast_pages=list(alloc), fthr_true=list(fthr or [1.0] * n),
+    )
+
+
+def _result(workloads, n_epochs):
+    return ExperimentResult(policy_name="t", n_epochs=n_epochs,
+                            workloads={ts.pid: ts for ts in workloads})
+
+
+class TestWindowedCfi:
+    def test_perfectly_fair_windows_score_one(self):
+        res = _result([
+            _ts(1, "a", range(8), [10] * 8),
+            _ts(2, "b", range(8), [10] * 8),
+        ], n_epochs=8)
+        windows = windowed_cfi(res, window=4)
+        assert [w["cfi"] for w in windows] == [pytest.approx(1.0)] * 2
+        assert [(w["start"], w["end"]) for w in windows] == [(0, 4), (4, 8)]
+        assert all(w["n_active"] == 2 for w in windows)
+
+    def test_departed_pid_leaves_later_windows(self):
+        res = _result([
+            _ts(1, "stays", range(8), [10] * 8),
+            _ts(2, "leaves", range(4), [2] * 4),  # gone after epoch 3
+        ], n_epochs=8)
+        w0, w1 = windowed_cfi(res, window=4)
+        assert w0["pids"] == [1, 2]
+        assert w1["pids"] == [1]
+        # A lone survivor is trivially fair; the skewed first window is not.
+        assert w1["cfi"] == pytest.approx(1.0)
+        assert w0["cfi"] < 1.0
+
+    def test_windows_with_nobody_active_are_skipped(self):
+        res = _result([_ts(1, "late", [8, 9], [5, 5])], n_epochs=12)
+        windows = windowed_cfi(res, window=4)
+        assert [(w["start"], w["end"]) for w in windows] == [(8, 12)]
+
+    def test_ragged_final_window(self):
+        res = _result([_ts(1, "a", range(10), [1] * 10)], n_epochs=10)
+        assert windowed_cfi(res, window=4)[-1]["end"] == 10
+
+    def test_window_must_be_positive(self):
+        res = _result([_ts(1, "a", range(4), [1] * 4)], n_epochs=4)
+        with pytest.raises(ValueError):
+            windowed_cfi(res, window=0)
+
+
+class TestChurnFairness:
+    def test_summary_shape_and_bounds(self):
+        res = _result([
+            _ts(1, "a", range(8), [10] * 8),
+            _ts(2, "b", range(4), [2] * 4),
+        ], n_epochs=8)
+        summ = churn_fairness(res, window=4)
+        assert summ["window"] == 4
+        assert len(summ["windows"]) == 2
+        assert 0.0 < summ["min_cfi"] <= summ["mean_cfi"] <= 1.0
+        assert summ["min_cfi"] == min(w["cfi"] for w in summ["windows"])
+
+    def test_empty_run_defaults_to_fair(self):
+        summ = churn_fairness(_result([], n_epochs=0), window=4)
+        assert summ["mean_cfi"] == 1.0 and summ["min_cfi"] == 1.0 and summ["windows"] == []

@@ -110,3 +110,126 @@ def test_conservation_property(ops):
             a.free(live.pop())
     assert len(set(live)) == len(live)  # no duplicate handouts
     assert a.free_frames(0) + a.free_frames(1) + len(live) == 12
+
+
+# -- bulk teardown (free_pid) ----------------------------------------------------
+
+def _alloc_for_pid(a, pid, *, fast=0, slow=0, vpn0=100):
+    pages = []
+    for i in range(fast):
+        p = a.allocate(0)
+        p.attach(pid, vpn0 + i)
+        pages.append(p)
+    for i in range(slow):
+        p = a.allocate(1)
+        p.attach(pid, vpn0 + fast + i)
+        pages.append(p)
+    return pages
+
+
+def test_free_pid_releases_all_states_and_counts():
+    from repro.mm.page import PageState
+
+    a = make_alloc(fast=8, slow=16)
+    mine = _alloc_for_pid(a, pid=1, fast=3, slow=2)
+    other = _alloc_for_pid(a, pid=2, fast=1, slow=1, vpn0=900)
+    mine[1].state = PageState.MIGRATING
+    # A retained shadow twin: slow frame still bound to pid 1 as SHADOW.
+    shadow = a.allocate(1)
+    shadow.attach(1, 500)
+    shadow.state = PageState.SHADOW
+
+    counts = a.free_pid(1)
+    assert counts == {"mapped": 4, "migrating": 1, "shadow": 1, "fast": 3, "slow": 3}
+    assert a.store.owned_frames(1).size == 0
+    # Other pid untouched.
+    assert a.store.owned_frames(2).size == 2
+    a.check_consistency()
+
+
+def test_free_pid_leaves_fast_usage_consistent_with_bitmap():
+    """The satellite invariant: after teardown, per-pid fast usage and
+    the free-list bitmap tell the same story about the fast tier."""
+    a = make_alloc(fast=8, slow=16)
+    _alloc_for_pid(a, pid=1, fast=4, slow=1)
+    _alloc_for_pid(a, pid=2, fast=2, slow=0, vpn0=900)
+    a.free_pid(1)
+    assert a.store.fast_usage(1) == 0
+    assert a.store.fast_usage(2) == 2
+    fast = a.tiers[0]
+    free_bits = int(a.store.in_free_list[: fast.total].sum())
+    assert free_bits == fast.free == fast.total - a.store.fast_usage(2)
+    assert sorted(fast.free_list) == sorted(
+        int(p) for p in range(fast.total) if a.store.in_free_list[p]
+    )
+    a.check_consistency()
+
+
+def test_free_pid_of_unknown_pid_is_empty_noop():
+    a = make_alloc()
+    counts = a.free_pid(42)
+    assert counts == {"mapped": 0, "migrating": 0, "shadow": 0, "fast": 0, "slow": 0}
+
+
+def test_free_pid_detects_tampered_double_free():
+    a = make_alloc()
+    pages = _alloc_for_pid(a, pid=1, fast=2)
+    a.store.in_free_list[pages[0].pfn] = True  # corrupt the bitmap
+    with pytest.raises(RuntimeError, match="double free"):
+        a.free_pid(1)
+
+
+# -- capacity events (offline/online) --------------------------------------------
+
+def test_offline_frames_come_from_free_list_tail():
+    a = make_alloc(fast=8, slow=16)
+    taken = a.offline_frames(0, 3)
+    assert len(taken) == 3
+    assert a.tiers[0].offline == 3
+    assert a.tiers[0].online == 5
+    assert a.tiers[0].free == 5
+    # Allocation order of the remaining frames is undisturbed.
+    p = a.allocate(0)
+    assert p.pfn == 0
+    p.attach(1, 7)
+    a.check_consistency()
+
+
+def test_offline_clamps_to_free_frames():
+    a = make_alloc(fast=4, slow=8)
+    _alloc_for_pid(a, pid=1, fast=3)
+    taken = a.offline_frames(0, 10)
+    assert len(taken) == 1
+    assert a.tiers[0].online == 3
+
+
+def test_online_restores_offlined_frames():
+    a = make_alloc(fast=8, slow=16)
+    a.offline_frames(0, 4)
+    assert a.online_frames(0, 2) == 2
+    assert a.tiers[0].offline == 2
+    assert a.online_frames(0) == 2  # the rest
+    assert a.tiers[0].offline == 0
+    assert a.tiers[0].online == a.tiers[0].total == 8
+    a.check_consistency()
+
+
+def test_watermarks_scale_with_online_capacity():
+    a = make_alloc(fast=100, slow=16)
+    before = a.tiers[0].high_watermark
+    a.offline_frames(0, 90)
+    # Watermarks are fractions of *online* capacity, so shrinking the
+    # tier shrinks them too instead of triggering phantom reclaim.
+    assert a.tiers[0].online == 10
+    assert a.tiers[0].high_watermark < before
+    assert not a.tiers[0].below_low_watermark()
+    a.check_consistency()
+
+
+def test_check_consistency_catches_corruption():
+    a = make_alloc()
+    p = a.allocate(0)
+    p.attach(1, 7)
+    a.store.in_free_list[p.pfn] = True  # live frame marked free
+    with pytest.raises(RuntimeError):
+        a.check_consistency()

@@ -109,3 +109,41 @@ class TestLruSubsystem:
     def test_zero_cpus_rejected(self):
         with pytest.raises(ValueError):
             LruSubsystem(n_cpus=0)
+
+
+class TestForgetPages:
+    """Teardown support: a departing pid's frames must vanish from the
+    pagevecs, the global lists, and the pending-tier map alike."""
+
+    def test_removes_from_pagevecs_and_global_lists(self):
+        sub = LruSubsystem(n_cpus=2)
+        # pfns 1..15 drain cpu 0's pagevec into the tier-0 global list;
+        # 20 and 21 stay buffered in cpu 1's pagevec.
+        for pfn in range(1, 16):
+            sub.add_page(pfn, tier_id=0, cpu_id=0)
+        sub.add_page(20, tier_id=1, cpu_id=1)
+        sub.add_page(21, tier_id=1, cpu_id=1)
+        removed = sub.forget_pages([1, 2, 20])
+        assert removed == 3
+        assert 1 not in sub.lists[0] and 2 not in sub.lists[0]
+        assert 3 in sub.lists[0]
+        assert 20 not in sub.pagevecs[1].pending
+        assert 21 in sub.pagevecs[1].pending
+        # The buffered survivor still knows its tier.
+        sub.drain()
+        assert 21 in sub.lists[1]
+
+    def test_clears_pending_tier(self):
+        sub = LruSubsystem(n_cpus=1)
+        sub.add_page(5, tier_id=1, cpu_id=0)
+        assert sub.forget_pages([5]) == 1
+        # A later drain must not resurrect the forgotten page.
+        sub.drain()
+        assert 5 not in sub.lists[0] and 5 not in sub.lists[1]
+
+    def test_empty_and_unknown_pfns_are_noops(self):
+        sub = LruSubsystem(n_cpus=1)
+        sub.add_page(5, tier_id=0, cpu_id=0)
+        assert sub.forget_pages([]) == 0
+        assert sub.forget_pages([99]) == 0
+        assert 5 in sub.pagevecs[0].pending

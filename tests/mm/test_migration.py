@@ -215,3 +215,86 @@ class TestOptimizationFlags:
         vma = fault_pages(space, 1, tier=1)
         engine.migrate(MigrationRequest(pid=1, vpn=vma.start_vpn, dest_tier=0))
         assert machine.cpu.ipi_stats.unicast_targets == 4
+
+
+class TestFaultInjection:
+    """Typed fault absorption: every injected fault unwinds without
+    corrupting page state, and each kind has its distinct signature."""
+
+    def _injector(self, probs):
+        from repro.scenario.faults import FaultInjector
+
+        inj = FaultInjector(seed=7)
+        inj.configure(probs)
+        inj.epoch = 0
+        return inj
+
+    def test_aborted_sync_unwinds_and_stalls(self):
+        engine, space, alloc, _ = build()
+        vma = fault_pages(space, 1, tier=1)
+        vpn = vma.start_vpn
+        src = space.translate(vpn)
+        engine.fault_injector = self._injector({"aborted_sync": 1.0})
+        stall0 = engine.stats.stall_cycles
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vpn, dest_tier=0))
+        assert out is MigrationOutcome.FAILED
+        # The page never moved; the half-copy stalled the app.
+        assert space.translate(vpn) == src
+        assert engine.stats.stall_cycles > stall0
+        assert engine.stats.faults_injected == {"aborted_sync": 1}
+        assert engine.stats.failures == 1
+        # The dest frame was unwound back to the free list.
+        assert alloc.tiers[0].free == 8
+        assert len(engine.fault_injector.records) == 1
+
+    def test_lost_async_keeps_source_mapped_no_stall(self):
+        from repro.mm.page import PageState
+
+        engine, space, alloc, _ = build()
+        vma = fault_pages(space, 1, tier=1)
+        vpn = vma.start_vpn
+        src = space.translate(vpn)
+        engine.fault_injector = self._injector({"lost_async": 1.0})
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vpn, dest_tier=0, sync=False))
+        assert out is MigrationOutcome.FAILED
+        assert space.translate(vpn) == src
+        assert alloc.page(src).state is PageState.MAPPED
+        # Background copy wasted cycles but never stalled the app.
+        assert engine.stats.stall_cycles == 0
+        assert engine.stats.faults_injected == {"lost_async": 1}
+        assert alloc.tiers[0].free == 8
+
+    def test_poisoned_shadow_falls_back_to_full_copy(self):
+        engine, space, alloc, _ = build(shadow=True)
+        vma = fault_pages(space, 1, tier=1)
+        vpn = vma.start_vpn
+        # Promote with shadowing: the slow frame is retained as a twin.
+        assert engine.migrate(MigrationRequest(pid=1, vpn=vpn, dest_tier=0)) is MigrationOutcome.SUCCESS
+        fast_pfn = space.translate(vpn)
+        assert engine.shadow.shadow_of(fast_pfn) is not None
+        engine.fault_injector = self._injector({"poisoned_shadow": 1.0})
+        out = engine.migrate(MigrationRequest(pid=1, vpn=vpn, dest_tier=1))
+        # The corrupt twin was discarded and a full-copy demotion ran.
+        assert out is MigrationOutcome.SUCCESS
+        assert alloc.tier_of_pfn(space.translate(vpn)) == 1
+        assert engine.shadow.stats.poisoned == 1
+        assert engine.shadow.stats.remap_demotions == 0
+        assert engine.stats.faults_injected == {"poisoned_shadow": 1}
+        alloc.check_consistency()
+
+    def test_unarmed_injector_is_bit_free(self):
+        """Attaching an injector with no armed kinds must not consume
+        RNG state or change outcomes versus no injector at all."""
+        def run(injector):
+            engine, space, _, _ = build()
+            vma = fault_pages(space, 4, tier=1)
+            engine.fault_injector = injector
+            outs = [
+                engine.migrate(MigrationRequest(pid=1, vpn=v, dest_tier=0))
+                for v in range(vma.start_vpn, vma.end_vpn)
+            ]
+            return outs, engine.stats.stall_cycles
+
+        unarmed = self._injector({})
+        assert run(None) == run(unarmed)
+        assert not unarmed.records

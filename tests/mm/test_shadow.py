@@ -74,3 +74,19 @@ def test_reclaim_all():
     freed = sorted(s.reclaim_all())
     assert freed == [100, 200]
     assert len(s) == 0
+
+
+def test_poison_pops_and_counts():
+    s = ShadowTracker()
+    s.retain(1, 100)
+    assert s.poison(1) == 100
+    assert s.stats.poisoned == 1
+    assert s.shadow_of(1) is None
+    # Poisoned frames are handed back immediately, never parked stale.
+    assert s.drain_stale() == []
+
+
+def test_poison_of_unshadowed_page_is_none():
+    s = ShadowTracker()
+    assert s.poison(1) is None
+    assert s.stats.poisoned == 0

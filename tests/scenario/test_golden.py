@@ -1,0 +1,31 @@
+"""Frozen golden churn run: cross-commit bit-exactness under churn.
+
+``tests/golden/scenario_churn.json`` pins the complete
+:class:`ScenarioResult` of the canned churn scenario — metrics of every
+workload instance (including the departed and restarted ones), the
+departure/restart/fault records, and the leak checks.  Regenerate (only
+when a behaviour change is intended) with
+``PYTHONPATH=src python tests/golden/capture.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.scenario import get_scenario, run_scenario
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "golden" / "scenario_churn.json"
+
+
+def test_golden_churn_bit_identical():
+    frozen = json.loads(GOLDEN.read_text())
+    spec = get_scenario("churn")
+    assert spec.content_hash() == frozen["config"]["spec_hash"], (
+        "the canned churn spec changed; regenerate the golden if intended"
+    )
+    sres = run_scenario(spec)
+    got = json.loads(json.dumps(sres.to_dict(), sort_keys=True))
+    assert got == frozen["scenario_result"], (
+        "churn scenario output diverged from the frozen run"
+    )

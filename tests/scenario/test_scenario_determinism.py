@@ -1,0 +1,102 @@
+"""Scenario determinism: same seed + spec ⇒ bit-identical everything.
+
+Covers the three layers the ISSUE pins: repeated in-process runs,
+serial vs ``workers=2`` sweep execution (module-level factory, as the
+fork-based workers require), and the obs event stream produced under
+tracing.
+"""
+
+from __future__ import annotations
+
+from repro.harness import Sweep
+from repro.obs.trace import get_tracer
+from repro.scenario import ScenarioEvent, ScenarioSpec, WorkloadDef, run_scenario
+from repro.sim.config import MachineConfig, SimulationConfig, TierConfig
+
+UNIT = 10**6
+
+#: module-level spec + factory so forked sweep workers can run cells
+MICRO_SPEC = ScenarioSpec(
+    name="micro_churn",
+    n_epochs=10,
+    seed=5,
+    workloads=(
+        WorkloadDef(key="a", kind="memcached", service="LC", rss_pages=100,
+                    n_threads=2, accesses_per_thread=800),
+        WorkloadDef(key="b", kind="liblinear", service="BE", rss_pages=120,
+                    n_threads=2, start_epoch=1, accesses_per_thread=800),
+    ),
+    events=(
+        ScenarioEvent(epoch=2, action="faults_set", params={"lost_async": 0.3, "aborted_sync": 0.3}),
+        ScenarioEvent(epoch=5, action="depart", target="b"),
+        ScenarioEvent(epoch=7, action="restart", target="b"),
+    ),
+).validate()
+
+
+def _micro_machine() -> MachineConfig:
+    return MachineConfig(
+        n_cores=16,
+        fast=TierConfig(name="fast", capacity_bytes=160 * UNIT, load_latency_ns=70.0, bandwidth_gbps=205.0),
+        slow=TierConfig(name="slow", capacity_bytes=1024 * UNIT, load_latency_ns=162.0, bandwidth_gbps=25.0),
+    )
+
+
+def run_micro_scenario(*, seed: int):
+    sres = run_scenario(
+        MICRO_SPEC,
+        seed=seed,
+        machine_config=_micro_machine(),
+        sim=SimulationConfig(page_unit_bytes=UNIT, epoch_seconds=0.5),
+        cores_per_workload=4,
+    )
+    return sres
+
+
+def scenario_cell(*, seed: int):
+    """Sweep factory: must return the ExperimentResult, module-level."""
+    return run_micro_scenario(seed=seed).result
+
+
+def _mean_ops(result) -> float:
+    return float(sum(ts.mean_ops() for ts in result.workloads.values()))
+
+
+def test_same_seed_same_spec_bit_identical():
+    a = run_micro_scenario(seed=5)
+    b = run_micro_scenario(seed=5)
+    assert a.to_dict() == b.to_dict()
+    assert a.spec_hash == b.spec_hash
+
+
+def test_different_seed_differs():
+    a = run_micro_scenario(seed=5)
+    b = run_micro_scenario(seed=6)
+    assert a.result.to_dict() != b.result.to_dict()
+
+
+def test_serial_and_parallel_sweep_agree():
+    serial = Sweep(metrics={"ops": _mean_ops})
+    parallel = Sweep(metrics={"ops": _mean_ops})
+    grid = {"dummy": [0]}
+    cells_s = serial.run(lambda dummy, seed: scenario_cell(seed=seed), grid, seeds=[5, 6])
+    cells_p = parallel.run(lambda dummy, seed: scenario_cell(seed=seed), grid, seeds=[5, 6], workers=2)
+    assert not parallel.errors
+    assert cells_s[0].metrics == cells_p[0].metrics
+
+
+def test_obs_stream_is_deterministic():
+    tracer = get_tracer()
+
+    def capture():
+        tracer.enable()
+        try:
+            run_micro_scenario(seed=5)
+            return [
+                (e.kind.value, e.name, e.ts, e.pid, repr(sorted((e.args or {}).items())))
+                for e in tracer.events()
+            ]
+        finally:
+            tracer.disable()
+
+    assert capture() == capture()

@@ -1,0 +1,163 @@
+"""ScenarioSpec validation, serialization round-trips, content hashing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    ScenarioEvent,
+    ScenarioSpec,
+    ScenarioSpecError,
+    WorkloadDef,
+    get_scenario,
+    scenario_names,
+)
+
+
+def wd(key="mc", **kw):
+    base = dict(key=key, kind="memcached", service="LC", rss_pages=100)
+    base.update(kw)
+    return WorkloadDef(**base)
+
+
+def spec(workloads=None, events=(), n_epochs=20, **kw):
+    return ScenarioSpec(
+        name="t",
+        n_epochs=n_epochs,
+        workloads=tuple(workloads if workloads is not None else [wd()]),
+        events=tuple(events),
+        **kw,
+    )
+
+
+class TestValidation:
+    def test_minimal_spec_validates(self):
+        spec().validate()
+
+    def test_needs_a_workload(self):
+        with pytest.raises(ScenarioSpecError, match="at least one workload"):
+            spec(workloads=[]).validate()
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="duplicate"):
+            spec(workloads=[wd(), wd()]).validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="unknown kind"):
+            spec(workloads=[wd(kind="redis")]).validate()
+
+    def test_bad_service_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="LC or BE"):
+            spec(workloads=[wd(service="RT")]).validate()
+
+    def test_start_epoch_outside_run_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="start_epoch"):
+            spec(workloads=[wd(start_epoch=20)], n_epochs=20).validate()
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="unknown action"):
+            spec(events=[ScenarioEvent(epoch=1, action="explode")]).validate()
+
+    def test_event_epoch_outside_run_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="epoch outside"):
+            spec(events=[ScenarioEvent(epoch=20, action="depart", target="mc")]).validate()
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="unknown target"):
+            spec(events=[ScenarioEvent(epoch=1, action="depart", target="nope")]).validate()
+
+    def test_depart_before_start_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="not started"):
+            spec(
+                workloads=[wd(start_epoch=5)],
+                events=[ScenarioEvent(epoch=2, action="depart", target="mc")],
+            ).validate()
+
+    def test_double_depart_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="already departed"):
+            spec(events=[
+                ScenarioEvent(epoch=2, action="depart", target="mc"),
+                ScenarioEvent(epoch=4, action="depart", target="mc"),
+            ]).validate()
+
+    def test_restart_without_depart_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="prior depart"):
+            spec(events=[ScenarioEvent(epoch=2, action="restart", target="mc")]).validate()
+
+    def test_depart_restart_depart_allowed(self):
+        spec(events=[
+            ScenarioEvent(epoch=2, action="depart", target="mc"),
+            ScenarioEvent(epoch=4, action="restart", target="mc"),
+            ScenarioEvent(epoch=6, action="depart", target="mc"),
+        ]).validate()
+
+    def test_qos_change_needs_valid_service(self):
+        with pytest.raises(ScenarioSpecError, match="service"):
+            spec(events=[ScenarioEvent(epoch=1, action="qos_change", target="mc", params={})]).validate()
+
+    def test_phase_shift_needs_payload(self):
+        with pytest.raises(ScenarioSpecError, match="attrs"):
+            spec(events=[ScenarioEvent(epoch=1, action="phase_shift", target="mc")]).validate()
+
+    def test_tier_offline_needs_positive_pages(self):
+        with pytest.raises(ScenarioSpecError, match="pages"):
+            spec(events=[ScenarioEvent(epoch=1, action="tier_offline", params={"pages": 0})]).validate()
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="unknown fault kind"):
+            spec(events=[ScenarioEvent(epoch=1, action="faults_set", params={"cosmic_ray": 0.5})]).validate()
+
+    def test_fault_probability_out_of_range_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="probability"):
+            spec(events=[ScenarioEvent(epoch=1, action="faults_set", params={"lost_async": 1.5})]).validate()
+
+    def test_link_degrade_factors_checked(self):
+        with pytest.raises(ScenarioSpecError, match="bandwidth_factor"):
+            spec(events=[ScenarioEvent(epoch=1, action="link_degrade", params={"bandwidth_factor": 0.0})]).validate()
+
+
+class TestSerialization:
+    def test_round_trip_is_lossless(self):
+        s = get_scenario("churn")
+        assert ScenarioSpec.from_dict(s.to_dict()) == s
+
+    def test_from_json_file(self, tmp_path):
+        s = get_scenario("fault_storm")
+        p = tmp_path / "s.json"
+        p.write_text(json.dumps(s.to_dict()))
+        assert ScenarioSpec.from_json(p) == s
+
+    def test_from_dict_validates(self):
+        d = get_scenario("churn").to_dict()
+        d["events"][0]["action"] = "explode"
+        with pytest.raises(ScenarioSpecError):
+            ScenarioSpec.from_dict(d)
+
+
+class TestContentHash:
+    def test_hash_is_stable_across_instances(self):
+        assert get_scenario("churn").content_hash() == get_scenario("churn").content_hash()
+
+    def test_hash_changes_with_content(self):
+        a = spec()
+        b = spec(n_epochs=21)
+        assert a.content_hash() != b.content_hash()
+
+    def test_hash_differs_across_canned_scenarios(self):
+        hashes = {get_scenario(n).content_hash() for n in scenario_names()}
+        assert len(hashes) == len(scenario_names())
+
+
+class TestOverrides:
+    def test_override_seed(self):
+        s = get_scenario("churn").with_overrides(seed=9)
+        assert s.seed == 9
+
+    def test_epoch_override_must_not_cut_off_events(self):
+        with pytest.raises(ScenarioSpecError, match="cut off"):
+            get_scenario("churn").with_overrides(n_epochs=10)
+
+    def test_epoch_override_extension_allowed(self):
+        assert get_scenario("churn").with_overrides(n_epochs=60).n_epochs == 60

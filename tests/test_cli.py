@@ -164,3 +164,99 @@ def test_sweep_no_cache_ignores_cache_dir(capsys, tmp_path):
     payload = json.loads(capsys.readouterr().out)
     assert payload["cache"] == {"hits": 0, "misses": 0}
     assert not (tmp_path / "c").exists()
+
+
+# -- scenario subcommand ---------------------------------------------------------
+
+def _tiny_spec_dict():
+    return {
+        "name": "tiny",
+        "n_epochs": 6,
+        "seed": 3,
+        "policy": "vulcan",
+        "workloads": [
+            # populate_tier 1 forces promotion traffic even though the
+            # footprints fit in fast, so the armed faults get rolled.
+            {"key": "a", "kind": "memcached", "service": "LC", "rss_pages": 80,
+             "n_threads": 2, "accesses_per_thread": 500, "populate_tier": 1},
+            {"key": "b", "kind": "liblinear", "service": "BE", "rss_pages": 90,
+             "n_threads": 2, "accesses_per_thread": 500, "populate_tier": 1},
+        ],
+        "events": [
+            {"epoch": 1, "action": "faults_set",
+             "params": {"aborted_sync": 0.5, "lost_async": 0.5}},
+            {"epoch": 3, "action": "depart", "target": "b"},
+        ],
+    }
+
+
+@pytest.fixture
+def tiny_spec_file(tmp_path):
+    p = tmp_path / "tiny.json"
+    p.write_text(json.dumps(_tiny_spec_dict()))
+    return str(p)
+
+
+def test_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("churn", "flash_crowd", "degraded_tier", "noisy_neighbor_restart", "fault_storm"):
+        assert name in out
+
+
+def test_scenario_run_spec_file_table(tiny_spec_file, capsys):
+    assert main(["scenario", "run", "--spec", tiny_spec_file]) == 0
+    out = capsys.readouterr().out
+    assert "scenario=tiny" in out
+    assert "1 departures" in out
+    assert "fairness under churn" in out
+
+
+def test_scenario_run_json_and_check(tiny_spec_file, capsys):
+    assert main(["scenario", "run", "--spec", tiny_spec_file, "--json", "--check"]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["spec_name"] == "tiny"
+    assert payload["check"]["passed"] is True
+    assert len(payload["departures"]) == 1
+    assert payload["fairness_under_churn"]["windows"]
+    assert "all scenario checks passed" in captured.err
+
+
+def test_scenario_run_trace_export(tiny_spec_file, tmp_path, capsys):
+    trace = tmp_path / "t.trace.json"
+    assert main(["scenario", "run", "--spec", tiny_spec_file, "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e.get("cat") == "workload_depart" for e in events)
+
+
+def test_scenario_run_rejects_name_and_spec_together(tiny_spec_file):
+    with pytest.raises(SystemExit):
+        main(["scenario", "run", "churn", "--spec", tiny_spec_file])
+    with pytest.raises(SystemExit):
+        main(["scenario", "run"])
+
+
+def test_scenario_run_rejects_invalid_spec(tmp_path):
+    bad = _tiny_spec_dict()
+    bad["events"][1]["target"] = "nope"
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps(bad))
+    with pytest.raises(SystemExit, match="invalid scenario"):
+        main(["scenario", "run", "--spec", str(p)])
+
+
+def test_scenario_run_unknown_name_rejected():
+    with pytest.raises(SystemExit):
+        main(["scenario", "run", "nonesuch"])
+
+
+def test_bench_scenario_flag_wired():
+    args = build_parser().parse_args(["bench", "--scenario", "churn"])
+    assert args.scenario == "churn"
+
+
+def test_bench_unknown_scenario_rejected():
+    with pytest.raises((SystemExit, KeyError)):
+        main(["bench", "--scenario", "nonesuch"])
