@@ -55,13 +55,19 @@ import argparse
 import functools
 import json
 import sys
-from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
-from repro.harness import ColocationExperiment, Sweep
+from repro.harness import Sweep
 from repro.harness.export import to_json
+from repro.harness.recipes import (
+    run_summary_json,
+    standard_run,
+    sweep_cell,
+    sweep_cfi,
+    sweep_mean_ops,
+)
 from repro.metrics.fairness import cfi
 from repro.metrics.perf import normalize_to_min
 from repro.metrics.reporting import render_table
@@ -69,25 +75,16 @@ from repro.mm.migration_costs import MigrationCostModel
 from repro.obs.export import read_trace, summarize, write_chrome_trace
 from repro.obs.trace import get_tracer
 from repro.policies import POLICY_REGISTRY
-from repro.sim.config import MachineConfig, SimulationConfig, TierConfig
-from repro.sim.units import GiB
-from repro.workloads.mixes import dilemma_pair, paper_colocation_mix
 
 WINDOW = 10
 
-
-def _mix(name: str, sim: SimulationConfig, apt: int, seed: int):
-    if name == "paper":
-        return paper_colocation_mix(sim, seed=seed, accesses_per_thread=apt)
-    if name == "dilemma":
-        return dilemma_pair(sim, seed=seed, accesses_per_thread=apt)
-    raise SystemExit(f"unknown mix {name!r}: pick 'paper' or 'dilemma'")
+_BENCH_DEFAULT_OUTPUT = "BENCH_colocation.json"
 
 
-def _run_one(policy: str, mix: str, epochs: int, apt: int, seed: int):
-    sim = SimulationConfig(epoch_seconds=2.0)
-    exp = ColocationExperiment(policy, _mix(mix, sim, apt, seed), sim=sim, seed=seed)
-    return exp.run(epochs)
+# The canonical run lives in harness.recipes so the service computes the
+# exact same function; the alias keeps the historical import path alive
+# (golden capture + e2e tests import it from here).
+_run_one = standard_run
 
 
 def _check_trace_path(path: str) -> None:
@@ -119,16 +116,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     finally:
         if args.trace:
             tracer.disable()
+    if args.json:
+        print(json.dumps(run_summary_json(res, mix=args.mix, seed=args.seed), indent=2))
+        return 0
     alloc = {p: np.asarray(t.fast_pages[-WINDOW:], float) for p, t in res.workloads.items()}
     fthr = {p: np.asarray(t.fthr_true[-WINDOW:], float) for p, t in res.workloads.items()}
     fairness = cfi(alloc, fthr)
-    if args.json:
-        payload = to_json(res)
-        payload["mix"] = args.mix
-        payload["seed"] = args.seed
-        payload["cfi"] = fairness
-        print(json.dumps(payload, indent=2))
-        return 0
     rows = []
     for ts in res.workloads.values():
         rows.append([
@@ -219,21 +212,157 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.bench import check_regression, run_bench
 
-    bench = run_bench(quick=args.quick, scenario=args.scenario)
-    payload = bench.to_dict()
-    out = Path(args.output)
+    if args.service:
+        from repro.service.loadgen import run_service_bench
+
+        payload = run_service_bench(
+            quick=args.quick, clients=args.clients, jobs_per_client=args.jobs_per_client,
+        )
+        out = Path("BENCH_service.json" if args.output == _BENCH_DEFAULT_OUTPUT else args.output)
+        timing, jobs = payload["timing"], payload["jobs"]
+        print(
+            f"{jobs['completed']}/{jobs['submitted']} jobs in {timing['wall_seconds']:.2f}s "
+            f"({timing['jobs_per_sec']:.2f} jobs/sec, "
+            f"p50 {timing['submit_to_result_p50_ms']:.0f} ms, "
+            f"p99 {timing['submit_to_result_p99_ms']:.0f} ms, "
+            f"{jobs['deduped']} deduped, {jobs['cache_hits']} cache hits, "
+            f"{jobs['failed']} failed)"
+        )
+    else:
+        bench = run_bench(quick=args.quick, scenario=args.scenario)
+        payload = bench.to_dict()
+        out = Path(args.output)
+        print(
+            f"{bench.epochs} epochs in {bench.wall_seconds:.2f}s "
+            f"({bench.epochs_per_sec:.2f} epochs/sec, peak RSS {bench.peak_rss_kb} kB)"
+        )
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(
-        f"{bench.epochs} epochs in {bench.wall_seconds:.2f}s "
-        f"({bench.epochs_per_sec:.2f} epochs/sec, peak RSS {bench.peak_rss_kb} kB)"
-    )
     print(f"wrote {out}")
     if args.check:
         err = check_regression(payload, args.check, tolerance=args.tolerance)
         if err is not None:
             print(f"FAIL: {err}", file=sys.stderr)
             return 1
+    if args.service and payload["jobs"]["failed"]:
+        print(f"FAIL: {payload['jobs']['failed']} jobs failed under load", file=sys.stderr)
+        return 1
     return 0
+
+
+# -- service ---------------------------------------------------------------------
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service import TieringService
+
+    service = TieringService(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        use_cache=not args.no_cache,
+        verbose=args.verbose,
+    )
+    service.start()
+    recovered = len(service.queue.recovered)
+    note = f" (re-queued {recovered} interrupted job(s))" if recovered else ""
+    print(f"tiering service listening on {service.url}{note}", file=sys.stderr)
+    print(f"data dir: {Path(args.data_dir).resolve()}", file=sys.stderr)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down (in-flight jobs re-queued)...", file=sys.stderr)
+    finally:
+        service.stop()
+    return 0
+
+
+def _parse_payload(args: argparse.Namespace) -> dict:
+    if args.payload and args.payload_file:
+        raise SystemExit("submit: give --payload or --payload-file, not both")
+    try:
+        if args.payload_file:
+            return json.loads(Path(args.payload_file).read_text())
+        if args.payload:
+            return json.loads(args.payload)
+    except OSError as exc:
+        raise SystemExit(f"cannot read --payload-file: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"payload is not valid JSON: {exc}")
+    return {}
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    payload = _parse_payload(args)
+    try:
+        sub = client.submit(args.kind, payload)
+        job = sub["job"]
+        print(
+            f"job {job['job_id']} [{job['state']}]"
+            + (" (deduped: identical spec already submitted)" if sub["deduped"] else ""),
+            file=sys.stderr,
+        )
+        if not args.wait:
+            print(json.dumps(sub, indent=2))
+            return 0
+        final = client.wait(job["job_id"], timeout=args.timeout)
+        if final["state"] != "done":
+            print(json.dumps(final, indent=2))
+            print(f"job ended {final['state']}: {final.get('error')}", file=sys.stderr)
+            return 1
+        print(json.dumps({"job": final, "result": client.result(job["job_id"])}, indent=2))
+        return 0
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            jobs = client.jobs(state=args.state)
+            if args.json:
+                print(json.dumps({"jobs": jobs}, indent=2))
+                return 0
+            rows = [
+                [
+                    j["job_id"], j["kind"], j["state"], j["attempts"],
+                    "yes" if j["cached"] else "no",
+                    (j["error"] or {}).get("message", "")[:40] if j["error"] else "",
+                ]
+                for j in jobs
+            ]
+            print(render_table(
+                ["job", "kind", "state", "attempts", "cached", "error"],
+                rows,
+                title=f"{len(jobs)} job(s) at {args.url}",
+            ))
+            return 0
+        if args.cancel:
+            job = client.cancel(args.job_id)
+            print(json.dumps(job, indent=2))
+            return 0
+        if args.result:
+            print(json.dumps(client.result(args.job_id), indent=2))
+            return 0
+        if args.trace:
+            for rec in client.trace(args.job_id):
+                print(json.dumps(rec))
+            return 0
+        print(json.dumps(client.job(args.job_id), indent=2))
+        return 0
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
 
 
 # -- scenario --------------------------------------------------------------------
@@ -396,32 +525,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 # -- sweep -----------------------------------------------------------------------
 
-def _sweep_cell(fast_gb: float, *, policy: str, mix: str, epochs: int, accesses: int, seed: int):
-    """One sweep cell: the chosen mix on a machine with ``fast_gb`` of
-    fast memory.  Module-level (not a closure) so worker processes can
-    import it under any multiprocessing start method."""
-    sim = SimulationConfig(epoch_seconds=2.0)
-    mc = MachineConfig()
-    mc = replace(mc, fast=TierConfig(
-        name="fast",
-        capacity_bytes=int(fast_gb * GiB),
-        load_latency_ns=mc.fast.load_latency_ns,
-        bandwidth_gbps=mc.fast.bandwidth_gbps,
-    ))
-    exp = ColocationExperiment(policy, _mix(mix, sim, accesses, seed), machine_config=mc, sim=sim, seed=seed)
-    return exp.run(epochs)
-
-
-def _sweep_mean_ops(result) -> float:
-    """Steady-window ops/epoch averaged across the co-located workloads."""
-    return float(np.mean([np.mean(ts.ops[-WINDOW:]) for ts in result.workloads.values()]))
-
-
-def _sweep_cfi(result) -> float:
-    """Steady-window FTHR-weighted CFI (Eq. 4)."""
-    alloc = {p: np.asarray(t.fast_pages[-WINDOW:], float) for p, t in result.workloads.items()}
-    fthr = {p: np.asarray(t.fthr_true[-WINDOW:], float) for p, t in result.workloads.items()}
-    return cfi(alloc, fthr)
+# Shared with the service layer (see harness.recipes): sweep jobs and
+# `repro sweep` must hash and compute identical cells to dedupe.
+_sweep_cell = sweep_cell
+_sweep_mean_ops = sweep_mean_ops
+_sweep_cfi = sweep_cfi
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -579,14 +687,69 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CI smoke variant: fewer epochs, fewer accesses per thread")
     bench.add_argument("--scenario", metavar="NAME", default=None,
                        help="time a canned dynamic scenario instead of the static mix")
-    bench.add_argument("--output", metavar="PATH", default="BENCH_colocation.json",
-                       help="where to write the result JSON (default: repo root)")
+    bench.add_argument("--service", action="store_true",
+                       help="load-test the job service instead of the simulator "
+                            "(boots a private server, mixed concurrent workload)")
+    bench.add_argument("--clients", type=int, default=None,
+                       help="concurrent load-gen clients (--service only)")
+    bench.add_argument("--jobs-per-client", type=int, default=None, dest="jobs_per_client",
+                       help="jobs each client submits (--service only)")
+    bench.add_argument("--output", metavar="PATH", default=_BENCH_DEFAULT_OUTPUT,
+                       help="where to write the result JSON (default: repo root; "
+                            "BENCH_service.json with --service)")
     bench.add_argument("--check", metavar="BASELINE", default=None,
-                       help="compare epochs/sec against a committed baseline JSON; "
+                       help="compare throughput against a committed baseline JSON; "
                             "exit 1 on regression beyond --tolerance")
     bench.add_argument("--tolerance", type=float, default=0.30,
-                       help="allowed fractional epochs/sec drop vs baseline (default 0.30)")
+                       help="allowed fractional throughput drop vs baseline (default 0.30)")
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser("serve", help="run the tiering job service (HTTP control plane)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job worker processes (default 2)")
+    serve.add_argument("--data-dir", default=".repro-service",
+                       help="journal + result cache directory (default .repro-service)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock timeout in seconds (default: none)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a job to a running service")
+    submit.add_argument("kind", choices=["run", "sweep", "scenario"])
+    submit.add_argument("--url", default="http://127.0.0.1:8787",
+                        help="service base URL (default http://127.0.0.1:8787)")
+    submit.add_argument("--payload", metavar="JSON", default=None,
+                        help="job payload as inline JSON (defaults applied server-side)")
+    submit.add_argument("--payload-file", metavar="PATH", default=None,
+                        help="job payload from a JSON file")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print its result")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait timeout in seconds (default 300)")
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="inspect jobs on a running service")
+    jobs.add_argument("job_id", nargs="?", default=None,
+                      help="a job id; omit to list all jobs")
+    jobs.add_argument("--url", default="http://127.0.0.1:8787",
+                      help="service base URL (default http://127.0.0.1:8787)")
+    jobs.add_argument("--state", default=None,
+                      choices=["pending", "running", "done", "failed", "cancelled"],
+                      help="filter the listing by state")
+    jobs.add_argument("--json", action="store_true",
+                      help="print the listing as JSON instead of a table")
+    jobs.add_argument("--result", action="store_true",
+                      help="print the job's result payload")
+    jobs.add_argument("--cancel", action="store_true",
+                      help="cancel the job")
+    jobs.add_argument("--trace", action="store_true",
+                      help="print the job's journal trace as JSONL")
+    jobs.set_defaults(func=cmd_jobs)
 
     costs = sub.add_parser("costs", help="print the calibrated cost model")
     costs.add_argument("--cpus", type=int, nargs="+", default=[2, 4, 8, 16, 32])

@@ -171,32 +171,44 @@ def _run_scenario_bench(name: str) -> BenchResult:
 def check_regression(payload: dict, baseline_path: str, *, tolerance: float = 0.30) -> str | None:
     """Compare a bench payload against a committed baseline file.
 
-    Returns an error message when epochs/sec dropped more than
-    ``tolerance`` below the baseline, or ``None`` when within bounds.
-    A missing or malformed baseline is reported as an error too — a CI
-    job silently skipping its own check is worse than a red run.
+    Two payload families share the contract: simulator benches carry a
+    ``scenario`` block and regress on ``epochs_per_sec``; service
+    benches (``repro bench --service``) carry a ``service`` block and
+    regress on ``jobs_per_sec``.  In both cases the pinned-scenario
+    block must match exactly (a quick baseline only compares against a
+    quick run, a 50-client baseline against a 50-client run), and the
+    throughput metric may not drop more than ``tolerance`` below the
+    baseline.
+
+    Returns an error message on regression or mismatch, ``None`` when
+    within bounds.  A missing or malformed baseline is reported as an
+    error too — a CI job silently skipping its own check is worse than
+    a red run.
     """
+    scenario_key, metric = (
+        ("service", "jobs_per_sec") if "service" in payload else ("scenario", "epochs_per_sec")
+    )
     try:
         with open(baseline_path) as f:
             baseline = json.load(f)
-        ref = float(baseline["timing"]["epochs_per_sec"])
-        ref_scenario = baseline["scenario"]
+        ref = float(baseline["timing"][metric])
+        ref_scenario = baseline[scenario_key]
     except (OSError, KeyError, TypeError, ValueError) as exc:
         return f"cannot read baseline {baseline_path}: {exc}"
-    if ref_scenario != payload["scenario"]:
+    if ref_scenario != payload[scenario_key]:
         return (
-            f"baseline scenario mismatch: {ref_scenario} vs {payload['scenario']} "
+            f"baseline {scenario_key} mismatch: {ref_scenario} vs {payload[scenario_key]} "
             "(quick baselines only compare against --quick runs)"
         )
-    got = float(payload["timing"]["epochs_per_sec"])
+    got = float(payload["timing"][metric])
     floor = ref * (1.0 - tolerance)
     if got < floor:
         return (
-            f"epochs/sec regressed: {got:.3f} < {floor:.3f} "
+            f"{metric} regressed: {got:.3f} < {floor:.3f} "
             f"(baseline {ref:.3f} - {tolerance:.0%})"
         )
     print(
-        f"epochs/sec {got:.3f} vs baseline {ref:.3f} (floor {floor:.3f}): ok",
+        f"{metric} {got:.3f} vs baseline {ref:.3f} (floor {floor:.3f}): ok",
         file=sys.stderr,
     )
     return None

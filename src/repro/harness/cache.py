@@ -27,6 +27,7 @@ import hashlib
 import inspect
 import json
 import os
+import re
 from pathlib import Path
 from typing import Any
 
@@ -35,10 +36,54 @@ from repro.obs.metrics import get_registry
 #: Bumped whenever the payload layout changes; part of every key.
 CACHE_FORMAT_VERSION = 1
 
+#: CPython's default ``object.__repr__`` embeds the instance address —
+#: a per-process value that would silently break cache dedup.
+_ADDR_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to plain JSON types with a process-independent form.
+
+    Sets are sorted by their canonical JSON encoding (plain ``sorted``
+    would depend on ``PYTHONHASHSEED``-driven iteration order for
+    unorderable element types), tuples become lists, bytes become hex,
+    and dict keys are stringified.  Anything else falls back to
+    ``repr`` — but a repr that embeds a memory address is rejected
+    outright, because hashing it would produce a different key in every
+    process and two clients submitting identical work would never
+    dedupe.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonicalize(v) for v in obj]
+        return sorted(items, key=lambda x: json.dumps(x, sort_keys=True))
+    if isinstance(obj, (bytes, bytearray)):
+        return bytes(obj).hex()
+    r = repr(obj)
+    if _ADDR_REPR.search(r):
+        raise TypeError(
+            f"cannot build a stable content hash from {type(obj).__name__}: "
+            f"its repr embeds a memory address ({r}); pass plain data instead"
+        )
+    return r
+
 
 def content_hash(obj: Any) -> str:
-    """Stable sha256 of a JSON-serializable object (sorted keys)."""
-    blob = json.dumps(obj, sort_keys=True, default=repr).encode()
+    """Stable sha256 of (nearly) any plain-data object.
+
+    Stable across processes and ``PYTHONHASHSEED`` values: the object
+    is canonicalized first (set ordering, tuple/list unification, repr
+    address rejection — see :func:`canonicalize`), then serialized with
+    sorted keys.
+    """
+    blob = json.dumps(canonicalize(obj), sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()
 
 

@@ -27,6 +27,7 @@ from dataclasses import MISSING, dataclass, field, fields
 
 import numpy as np
 
+from repro.harness.jsonsafe import decode_nonfinite, encode_nonfinite
 from repro.machine.platform import Machine
 from repro.mm.address_space import AddressSpace, Process
 from repro.mm.frame_alloc import FrameAllocator
@@ -128,8 +129,15 @@ class WorkloadTimeseries:
         Every field is an int/float/str or a flat list thereof, so the
         round trip through pickle *or* JSON is exact: Python's JSON
         encoder emits ``repr``-style shortest-round-trip floats.
+        Non-finite floats (a NaN CI on a single sample, an inf latency)
+        are carried as ``{"__float__": ...}`` markers so the payload
+        survives strict-JSON transport — the service's HTTP boundary
+        refuses the non-standard ``NaN``/``Infinity`` literals.
         """
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            f.name: encode_nonfinite(v) if isinstance(v := getattr(self, f.name), list) else v
+            for f in fields(self)
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadTimeseries":
@@ -143,7 +151,8 @@ class WorkloadTimeseries:
         kwargs = {}
         for f in fields(cls):
             if f.name in data:
-                kwargs[f.name] = data[f.name]
+                v = data[f.name]
+                kwargs[f.name] = decode_nonfinite(v) if isinstance(v, list) else v
             elif f.default_factory is not MISSING:
                 kwargs[f.name] = f.default_factory()
             elif f.default is not MISSING:
@@ -187,7 +196,7 @@ class ExperimentResult:
             "policy_name": self.policy_name,
             "n_epochs": self.n_epochs,
             "free_fast_pages": list(self.free_fast_pages),
-            "migration_cycles": [float(c) for c in self.migration_cycles],
+            "migration_cycles": encode_nonfinite([float(c) for c in self.migration_cycles]),
             "workloads": {str(pid): ts.to_dict() for pid, ts in self.workloads.items()},
         }
 
@@ -201,7 +210,7 @@ class ExperimentResult:
                 for pid, ts in data.get("workloads", {}).items()
             },
             free_fast_pages=list(data.get("free_fast_pages", [])),
-            migration_cycles=list(data.get("migration_cycles", [])),
+            migration_cycles=decode_nonfinite(list(data.get("migration_cycles", []))),
         )
 
 

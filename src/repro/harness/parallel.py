@@ -52,7 +52,7 @@ class CellFailure:
 
     params: tuple[tuple[str, Any], ...]
     seed: int
-    kind: str  # "exception" | "timeout" | "crash"
+    kind: str  # "exception" | "timeout" | "crash" | "cancelled"
     error: str  # exception type name, or the kind for non-exceptions
     message: str
     traceback: str = ""
@@ -118,9 +118,14 @@ def build_tasks(
 def _serialize(result: Any) -> dict:
     if isinstance(result, ExperimentResult):
         return {"type": "experiment_result", "data": result.to_dict()}
+    if isinstance(result, dict):
+        # Plain-data payloads (the service's job results) ride the same
+        # pipe; sweeps still require experiment results at deserialize.
+        return {"type": "json", "data": result}
     raise TypeError(
-        f"parallel sweeps need factories returning ExperimentResult "
-        f"(got {type(result).__name__}); run with workers=1 or add to_dict support"
+        f"parallel sweeps need factories returning ExperimentResult or a "
+        f"plain dict (got {type(result).__name__}); run with workers=1 or "
+        f"add to_dict support"
     )
 
 
@@ -161,6 +166,19 @@ def _context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _cancelled_outcome(task: CellTask) -> CellOutcome:
+    return CellOutcome(
+        task=task,
+        failure=CellFailure(
+            params=task.params,
+            seed=task.seed,
+            kind="cancelled",
+            error="CellCancelled",
+            message="task cancelled before completion",
+        ),
+    )
+
+
 def execute_tasks(
     tasks: list[CellTask],
     factory: Callable[..., Any],
@@ -168,12 +186,19 @@ def execute_tasks(
     workers: int,
     timeout: float | None = None,
     on_done: Callable[[CellOutcome], None] | None = None,
+    should_cancel: Callable[[CellTask], bool] | None = None,
 ) -> dict[int, CellOutcome]:
     """Run ``tasks`` on a bounded pool of single-shot worker processes.
 
     Returns outcomes keyed by task index.  Worker completion order never
     leaks into the outcome contents: each child's result depends only on
     its task, and the caller re-assembles by index.
+
+    ``should_cancel`` is polled once per scheduler tick for every task
+    still in flight (and for queued tasks before they launch); a task
+    it returns True for is terminated and recorded as a ``"cancelled"``
+    failure — the cooperative-cancellation hook the service's job
+    scheduler uses for both client cancels and clean shutdown.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -195,6 +220,9 @@ def execute_tasks(
     while pending or running:
         while pending and len(running) < workers:
             task = pending.pop()
+            if should_cancel is not None and should_cancel(task):
+                finish(_cancelled_outcome(task))
+                continue
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_child_main, args=(child_conn, factory, task), daemon=True)
             proc.start()
@@ -241,6 +269,16 @@ def execute_tasks(
                         traceback=message["traceback"],
                     ),
                 ))
+
+        if should_cancel is not None:
+            for idx, run in list(running.items()):
+                if not should_cancel(run.task):
+                    continue
+                running.pop(idx)
+                run.process.terminate()
+                run.process.join()
+                run.conn.close()
+                finish(_cancelled_outcome(run.task))
 
         if timeout is not None:
             now = time.monotonic()

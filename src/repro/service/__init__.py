@@ -1,0 +1,45 @@
+"""Tiering-as-a-service control plane.
+
+Turns the repo from a CLI into a multi-client experiment service: a
+typed, content-hashed job model (:mod:`jobs`), a JSONL-journaled
+persistent queue (:mod:`queue`), a worker-pool scheduler feeding the
+existing fork-isolated executor and result cache (:mod:`scheduler`,
+:mod:`runners`), a stdlib-only threaded HTTP API (:mod:`api`,
+:mod:`server`), a client (:mod:`client`) and a load generator
+(:mod:`loadgen`).
+
+The headline correctness claim is *dedup*: two clients submitting the
+same spec share one job (same content-hashed id), and a re-submission
+of completed work is served from the content-addressed result cache
+without recomputation — while every job's metrics stay bit-identical
+to the same spec run through the CLI.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    VALID_JOB_KINDS,
+    IllegalTransition,
+    Job,
+    JobError,
+    JobSpec,
+    JobState,
+)
+from repro.service.queue import JobQueue
+from repro.service.runners import run_job
+from repro.service.scheduler import Scheduler
+from repro.service.server import TieringService
+
+__all__ = [
+    "IllegalTransition",
+    "Job",
+    "JobError",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "TieringService",
+    "VALID_JOB_KINDS",
+    "run_job",
+]

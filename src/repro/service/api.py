@@ -1,0 +1,190 @@
+"""HTTP API for the control plane (stdlib ``http.server`` only).
+
+Endpoints (all JSON; non-finite floats are ``{"__float__": ...}``
+marker-encoded, see ``harness.jsonsafe``)::
+
+    GET  /healthz                  liveness + queue counts
+    POST /jobs                     submit a JobSpec  -> {job, deduped}
+    GET  /jobs[?state=...]         list jobs
+    GET  /jobs/<id>                one job's status record
+    GET  /jobs/<id>/result         result payload (409 until DONE)
+    POST /jobs/<id>/cancel         cancel pending/running work
+    GET  /jobs/<id>/trace          the job's journal records, JSONL
+    GET  /metrics                  obs-registry snapshot + queue/cache stats
+
+Error contract: 400 for malformed/invalid submissions, 404 for unknown
+ids or routes, 405 for wrong methods, 409 for illegal state operations
+(result-before-done, cancel-after-terminal).  Every error body is
+``{"error": ..., "message": ...}``.
+
+The handler is deliberately thin: it parses, dispatches to the
+:class:`TieringService` facade on the server object, and serializes.
+Threading comes from ``ThreadingHTTPServer``; per-request state stays
+on the stack so no locks live here.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.jobs import IllegalTransition, JobError, JobSpec, JobState
+
+#: request bodies above this are rejected (a spec is small; a DoS-sized
+#: body never reaches the JSON parser)
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ApiError(Exception):
+    """Maps straight to an HTTP error response."""
+
+    def __init__(self, status: int, error: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error = error
+        self.message = message
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-tiering-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self):
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload, allow_nan=False).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_jsonl(self, status: int, lines: list[str]) -> None:
+        body = ("\n".join(lines) + ("\n" if lines else "")).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ApiError(400, "bad_request", "request body required")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, "too_large", f"body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, "bad_json", f"request body is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ApiError(400, "bad_request", "request body must be a JSON object")
+        return data
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            self._route(method, parts, query)
+        except ApiError as exc:
+            self._send_json(exc.status, {"error": exc.error, "message": exc.message})
+        except JobError as exc:  # includes IllegalTransition via _route mapping
+            self._send_json(400, {"error": "invalid_job", "message": str(exc)})
+        except KeyError:
+            self._send_json(404, {"error": "not_found", "message": "no such job"})
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # noqa: BLE001 — surface, don't kill the thread
+            self._send_json(500, {"error": "internal", "message": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    # -- routes ------------------------------------------------------------
+
+    def _route(self, method: str, parts: list[str], query: dict) -> None:
+        if parts == ["healthz"]:
+            self._require(method, "GET")
+            self._send_json(200, {"ok": True, "jobs": self.service.queue.counts()})
+        elif parts == ["metrics"]:
+            self._require(method, "GET")
+            self._send_json(200, self.service.metrics_snapshot())
+        elif parts == ["jobs"]:
+            if method == "POST":
+                self._submit()
+            else:
+                self._list_jobs(query)
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._require(method, "GET")
+            self._send_json(200, self.service.queue.get(parts[1]).to_dict())
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._require(method, "GET")
+            self._job_result(parts[1])
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            self._require(method, "POST")
+            self._cancel(parts[1])
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+            self._require(method, "GET")
+            self.service.queue.get(parts[1])  # 404 for unknown ids
+            self._send_jsonl(200, self.service.queue.journal_lines(parts[1]))
+        else:
+            raise ApiError(404, "not_found", f"no route for {'/'.join(parts) or '/'}")
+
+    def _require(self, method: str, expected: str) -> None:
+        if method != expected:
+            raise ApiError(405, "method_not_allowed", f"use {expected}")
+
+    def _submit(self) -> None:
+        data = self._read_json_body()
+        try:
+            spec = JobSpec.from_dict(data)
+        except JobError as exc:
+            raise ApiError(400, "invalid_job", str(exc))
+        job, deduped = self.service.queue.submit(spec)
+        self._send_json(200 if deduped else 202, {"job": job.to_dict(), "deduped": deduped})
+
+    def _list_jobs(self, query: dict) -> None:
+        state = query.get("state")
+        if state is not None:
+            try:
+                state = JobState(state)
+            except ValueError:
+                raise ApiError(400, "bad_state",
+                               f"unknown state {state!r} (pick from "
+                               f"{[s.value for s in JobState]})")
+        jobs = self.service.queue.list(state)
+        self._send_json(200, {"jobs": [j.to_dict() for j in jobs]})
+
+    def _job_result(self, job_id: str) -> None:
+        job = self.service.queue.get(job_id)
+        if job.state is not JobState.DONE:
+            detail = {"error": "not_done", "message": f"job is {job.state.value}",
+                      "job": job.to_dict()}
+            self._send_json(409, detail)
+            return
+        payload = self.service.scheduler.result_for(job)
+        if payload is None:
+            raise ApiError(410, "result_evicted",
+                           "result is no longer in the cache; resubmit to recompute")
+        self._send_json(200, {"job": job.to_dict(), "result": payload})
+
+    def _cancel(self, job_id: str) -> None:
+        try:
+            job = self.service.queue.cancel(job_id)
+        except IllegalTransition as exc:
+            raise ApiError(409, "illegal_transition", str(exc))
+        self._send_json(202, {"job": job.to_dict()})

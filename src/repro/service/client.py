@@ -1,0 +1,124 @@
+"""Stdlib HTTP client for the tiering service.
+
+Wraps the API contract (see :mod:`repro.service.api`) in typed-ish
+methods; non-finite floats in result payloads are decoded back from
+their ``{"__float__": ...}`` marker form, so a round trip through the
+service is lossless.  ``urllib`` only — the client must work anywhere
+the repo's tier-1 tests run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.harness.jsonsafe import decode_nonfinite
+
+#: default per-request timeout (seconds)
+REQUEST_TIMEOUT = 30.0
+
+
+class ServiceError(RuntimeError):
+    """An API error response (or transport failure talking to one)."""
+
+    def __init__(self, status: int, error: str, message: str) -> None:
+        super().__init__(f"[{status}] {error}: {message}")
+        self.status = status
+        self.error = error
+        self.message = message
+
+
+class ServiceClient:
+    """One service endpoint, many requests."""
+
+    def __init__(self, base_url: str, *, timeout: float = REQUEST_TIMEOUT) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body, allow_nan=False).encode()
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except (ValueError, OSError):
+                payload = {}
+            raise ServiceError(
+                exc.code,
+                payload.get("error", "http_error"),
+                payload.get("message", str(exc)),
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, "unreachable", f"{self.base_url}: {exc.reason}") from None
+
+    # -- API surface -------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, kind: str, payload: dict | None = None) -> dict:
+        """Submit a job; returns ``{"job": ..., "deduped": bool}``."""
+        return self._request("POST", "/jobs", {"kind": kind, "payload": payload or {}})
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, state: str | None = None) -> list[dict]:
+        suffix = f"?state={state}" if state else ""
+        return self._request("GET", f"/jobs{suffix}")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """The decoded result payload of a DONE job (409 otherwise)."""
+        out = self._request("GET", f"/jobs/{job_id}/result")
+        return decode_nonfinite(out["result"])
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def metrics(self) -> dict:
+        return decode_nonfinite(self._request("GET", "/metrics"))
+
+    def trace(self, job_id: str) -> list[dict]:
+        """The job's journal records (submit + every state change)."""
+        req = urllib.request.Request(f"{self.base_url}/jobs/{job_id}/trace")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                text = resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, "trace_error", str(exc)) from None
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(self, job_id: str, *, timeout: float = 300.0, poll: float = 0.05) -> dict:
+        """Block until the job reaches a terminal state; returns the job."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(0, "timeout", f"job {job_id} still {job['state']}")
+            time.sleep(poll)
+
+    def run_to_completion(self, kind: str, payload: dict | None = None,
+                          *, timeout: float = 300.0) -> dict:
+        """Submit, wait, and return the result payload (raises on failure)."""
+        job = self.submit(kind, payload)["job"]
+        final = self.wait(job["job_id"], timeout=timeout)
+        if final["state"] != "done":
+            raise ServiceError(0, f"job_{final['state']}",
+                               f"job {job['job_id']}: {final.get('error')}")
+        return self.result(job["job_id"])

@@ -1,0 +1,284 @@
+"""Persistent, journaled job queue.
+
+Every mutation appends one JSONL record to ``journal.jsonl`` before the
+in-memory state changes are visible to callers, so a killed server
+loses at most the record being written (a truncated trailing line is
+tolerated and dropped on replay).  Replay rebuilds the full job table;
+jobs that were ``RUNNING`` when the process died are re-queued
+(``RUNNING → PENDING`` is a legal recovery transition) — the
+zero-lost-jobs half of the restart contract.  The zero-*duplicated*
+half comes from the job id being the spec's content hash: a client
+re-submitting after a crash lands on the same record instead of a
+second copy, and completed work is served from the result cache.
+
+Journal record kinds::
+
+    {"event": "submit",  "t": ..., "job_id": ..., "spec": {...}}
+    {"event": "state",   "t": ..., "job_id": ..., "from": ..., "to": ...,
+     ["error": {...}] ["result_key": ...] ["cached": bool] ["recovered": bool]}
+    {"event": "cancel_requested", "t": ..., "job_id": ...}
+
+The queue is thread-safe; workers block on :meth:`claim_next`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.obs.metrics import get_registry
+from repro.service.jobs import IllegalTransition, Job, JobSpec, JobState
+
+
+class JobQueue:
+    """Journal-backed job table + pending FIFO."""
+
+    def __init__(self, journal_path: str | Path) -> None:
+        self.journal_path = Path(journal_path)
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self.jobs: dict[str, Job] = {}
+        self._pending: deque[str] = deque()
+        #: jobs found RUNNING in the journal and re-queued at startup
+        self.recovered: list[str] = []
+        self._submit_seq: dict[str, int] = {}
+        if self.journal_path.exists():
+            self._replay()
+        self._journal = self.journal_path.open("a")
+
+    # -- journal -----------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        self._journal.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal.flush()
+
+    def _replay(self) -> None:
+        """Rebuild the job table from the journal (crash-tolerant)."""
+        seq = 0
+        with self.journal_path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    # a truncated trailing line from a killed writer;
+                    # everything before it already replayed
+                    continue
+                self._replay_one(rec, seq)
+                seq += 1
+        # Rebuild the pending FIFO in submission order, then re-queue
+        # whatever died mid-flight behind it.
+        pending = [j for j in self.jobs.values() if j.state is JobState.PENDING]
+        pending.sort(key=lambda j: self._submit_seq.get(j.job_id, 0))
+        self._pending = deque(j.job_id for j in pending)
+        crashed = [j for j in self.jobs.values() if j.state is JobState.RUNNING]
+        crashed.sort(key=lambda j: self._submit_seq.get(j.job_id, 0))
+        for job in crashed:
+            job.transition(JobState.PENDING)
+            self._pending.append(job.job_id)
+            self.recovered.append(job.job_id)
+
+    def _replay_one(self, rec: dict, seq: int) -> None:
+        kind = rec.get("event")
+        jid = rec.get("job_id")
+        if kind == "submit":
+            spec = JobSpec.from_dict(rec["spec"])
+            self.jobs[jid] = Job(job_id=jid, spec=spec, submitted_at=rec.get("t", 0.0))
+            self._submit_seq[jid] = seq
+        elif kind == "state" and jid in self.jobs:
+            job = self.jobs[jid]
+            # The journal is the authority; force-apply rather than
+            # re-litigate legality (it was checked when written).
+            job.state = JobState(rec["to"])
+            if job.state is JobState.RUNNING:
+                job.started_at = rec.get("t")
+                job.attempts += 1
+            elif job.state.terminal:
+                job.finished_at = rec.get("t")
+            elif job.state is JobState.PENDING:
+                job.started_at = job.finished_at = None
+                job.error = None
+                job.cancel_requested = False
+            job.error = rec.get("error", job.error)
+            job.result_key = rec.get("result_key", job.result_key)
+            job.cached = rec.get("cached", job.cached)
+        elif kind == "cancel_requested" and jid in self.jobs:
+            self.jobs[jid].cancel_requested = True
+
+    def _record_transition(self, job: Job, to: JobState, **extra) -> None:
+        frm = job.state
+        job.transition(to)
+        rec = {"event": "state", "t": time.time(), "job_id": job.job_id,
+               "from": frm.value, "to": to.value}
+        rec.update(extra)
+        for k, v in extra.items():
+            if hasattr(job, k):
+                setattr(job, k, v)
+        self._append(rec)
+        get_registry().counter("service_job_transitions", to=to.value).inc()
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        registry = get_registry()
+        registry.gauge("service_jobs_pending").set(len(self._pending))
+        registry.gauge("service_jobs_running").set(
+            sum(1 for j in self.jobs.values() if j.state is JobState.RUNNING))
+
+    # -- write side --------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> tuple[Job, bool]:
+        """Register a spec; returns ``(job, deduped)``.
+
+        An identical spec already PENDING/RUNNING/DONE is returned
+        as-is (``deduped=True``): the two clients share one job.  A
+        FAILED or CANCELLED record is re-queued for another attempt.
+        """
+        spec = spec.normalized()
+        jid = spec.job_id()
+        with self._cond:
+            existing = self.jobs.get(jid)
+            if existing is not None:
+                if existing.state in (JobState.PENDING, JobState.RUNNING, JobState.DONE):
+                    get_registry().counter("service_jobs_deduped").inc()
+                    return existing, True
+                self._record_transition(existing, JobState.PENDING)
+                self._pending.append(jid)
+                self._cond.notify()
+                return existing, False
+            job = Job(job_id=jid, spec=spec, submitted_at=time.time())
+            self.jobs[jid] = job
+            self._submit_seq[jid] = len(self._submit_seq)
+            self._append({"event": "submit", "t": job.submitted_at,
+                          "job_id": jid, "spec": spec.to_dict()})
+            self._pending.append(jid)
+            get_registry().counter("service_jobs_submitted", kind=spec.kind).inc()
+            self._update_gauges()
+            self._cond.notify()
+            return job, False
+
+    def claim_next(self, timeout: float | None = None) -> Job | None:
+        """Pop the oldest pending job and mark it RUNNING (blocking)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._pending:
+                    jid = self._pending.popleft()
+                    job = self.jobs[jid]
+                    if job.state is not JobState.PENDING:
+                        continue  # cancelled while queued
+                    self._record_transition(job, JobState.RUNNING)
+                    return job
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def finish(self, job_id: str, *, result_key: str, cached: bool) -> Job:
+        with self._cond:
+            job = self.jobs[job_id]
+            self._record_transition(job, JobState.DONE, result_key=result_key, cached=cached)
+            return job
+
+    def fail(self, job_id: str, error: dict) -> Job:
+        with self._cond:
+            job = self.jobs[job_id]
+            self._record_transition(job, JobState.FAILED, error=error)
+            return job
+
+    def mark_cancelled(self, job_id: str) -> Job:
+        """Terminal cancellation of a RUNNING job (scheduler-side)."""
+        with self._cond:
+            job = self.jobs[job_id]
+            self._record_transition(job, JobState.CANCELLED)
+            return job
+
+    def requeue(self, job_id: str) -> Job:
+        """RUNNING → PENDING (clean-shutdown recovery, not a cancel)."""
+        with self._cond:
+            job = self.jobs[job_id]
+            self._record_transition(job, JobState.PENDING, recovered=True)
+            self._pending.append(job_id)
+            self._cond.notify()
+            return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Client-requested cancel.
+
+        A PENDING job is cancelled immediately; a RUNNING job gets its
+        flag set and the scheduler terminates it at the next poll; a
+        terminal job raises :class:`IllegalTransition`.
+        """
+        with self._cond:
+            job = self.jobs[job_id]
+            if job.state is JobState.PENDING:
+                self._record_transition(job, JobState.CANCELLED)
+            elif job.state is JobState.RUNNING:
+                job.cancel_requested = True
+                self._append({"event": "cancel_requested", "t": time.time(), "job_id": job_id})
+            else:
+                raise IllegalTransition(
+                    f"job {job_id} is already {job.state.value}; nothing to cancel"
+                )
+            return job
+
+    # -- read side ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            return self.jobs[job_id]
+
+    def cancel_requested(self, job_id: str) -> bool:
+        with self._lock:
+            job = self.jobs.get(job_id)
+            return job is not None and job.cancel_requested
+
+    def list(self, state: JobState | str | None = None) -> list[Job]:
+        with self._lock:
+            jobs = sorted(self.jobs.values(), key=lambda j: self._submit_seq.get(j.job_id, 0))
+            if state is None:
+                return jobs
+            state = JobState(state)
+            return [j for j in jobs if j.state is state]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            out = {s.value: 0 for s in JobState}
+            for job in self.jobs.values():
+                out[job.state.value] += 1
+            out["total"] = len(self.jobs)
+            return out
+
+    def journal_lines(self, job_id: str | None = None) -> list[str]:
+        """Raw journal records (optionally one job's), for the trace API."""
+        with self._lock:
+            self._journal.flush()
+            lines = []
+            with self.journal_path.open() as fh:
+                for line in fh:
+                    line = line.rstrip("\n")
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if job_id is not None and rec.get("job_id") != job_id:
+                        continue
+                    lines.append(line)
+            return lines
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            self._journal.flush()
+            self._journal.close()

@@ -1,0 +1,177 @@
+"""Worker-pool scheduler: pending jobs → fork-isolated execution.
+
+Each worker thread claims one job at a time and runs it through the
+existing :func:`harness.parallel.execute_tasks` machinery — one forked
+child per job — inheriting the per-job timeout, crash recovery
+(:class:`CellFailure`), and the new cooperative-cancellation hook.  A
+job that raises becomes ``FAILED`` with a structured error; a child
+that segfaults or is OOM-killed becomes ``FAILED`` with ``kind:
+"crash"``; a cancel lands as ``CANCELLED``; a clean shutdown re-queues
+in-flight jobs (``RUNNING → PENDING``) so a restarted server picks
+them back up — never lost, never duplicated.
+
+Results are content-addressed: the cache key is the normalized spec's
+content hash, shared with the dedup job id, so a resubmission of
+completed work — even across a server restart, even from a different
+client — is served from :class:`ResultCache` without recomputation.
+Sweep jobs additionally share the per-*cell* cache directory, so two
+different sweeps overlapping in grid cells dedupe at cell granularity.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from pathlib import Path
+
+from repro.harness.cache import ResultCache, content_hash
+from repro.harness.parallel import CellTask, execute_tasks
+from repro.obs.metrics import get_registry
+from repro.service.jobs import JOB_SPEC_VERSION, Job, JobSpec
+from repro.service.queue import JobQueue
+
+#: how long a worker blocks waiting for work before re-checking shutdown
+_CLAIM_WAIT_SECONDS = 0.2
+
+
+def _job_factory(spec_data: dict, cell_cache_dir: str | None, *, job_id: str, seed: int) -> dict:
+    """Forked-child entry point: module-level so any start method works."""
+    from repro.service.runners import run_job
+
+    return run_job(JobSpec.from_dict(spec_data), cell_cache_dir=cell_cache_dir)
+
+
+def job_result_key(spec: JobSpec) -> str:
+    """The content-addressed result-cache key for one normalized spec."""
+    norm = spec.normalized()
+    return content_hash({
+        "v": JOB_SPEC_VERSION,
+        "service_job": {"kind": norm.kind, "payload": norm.payload},
+    })
+
+
+class Scheduler:
+    """Bounded pool of worker threads draining a :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        data_dir: str | Path,
+        *,
+        workers: int = 2,
+        job_timeout: float | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.queue = queue
+        self.data_dir = Path(data_dir)
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.use_cache = use_cache
+        self.results = ResultCache(self.data_dir / "results")
+        self.cell_cache_dir = self.data_dir / "cells"
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("scheduler already started")
+        self._stop.clear()
+        for i in range(self.workers):
+            t = threading.Thread(target=self._worker_loop, name=f"job-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop workers; in-flight jobs are terminated and re-queued."""
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout)
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
+    # -- result access -----------------------------------------------------
+
+    def result_for(self, job: Job) -> dict | None:
+        """The stored result payload for a DONE job (None if evicted)."""
+        if job.result_key is None:
+            return None
+        return self.results.get(job.result_key)
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim_next(timeout=_CLAIM_WAIT_SECONDS)
+            if job is None:
+                continue
+            try:
+                self._execute(job)
+            except Exception as exc:  # noqa: BLE001 — a worker must survive
+                try:
+                    self.queue.fail(job.job_id, {
+                        "kind": "scheduler",
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                    })
+                except Exception:
+                    pass
+
+    def _execute(self, job: Job) -> None:
+        registry = get_registry()
+        key = job_result_key(job.spec)
+
+        if self.use_cache:
+            cached = self.results.get(key)
+            if cached is not None:
+                registry.counter("service_jobs_cache_hit").inc()
+                self.queue.finish(job.job_id, result_key=key, cached=True)
+                return
+
+        task = CellTask(
+            index=0, cell_index=0,
+            params=(("job_id", job.job_id),),
+            seed=0, cell_seed=0,
+        )
+        factory = functools.partial(
+            _job_factory, job.spec.to_dict(), str(self.cell_cache_dir),
+        )
+
+        def should_cancel(_task: CellTask) -> bool:
+            return self._stop.is_set() or self.queue.cancel_requested(job.job_id)
+
+        outcomes = execute_tasks(
+            [task], factory,
+            workers=1,
+            timeout=self.job_timeout,
+            should_cancel=should_cancel,
+        )
+        outcome = outcomes[0]
+
+        if outcome.ok:
+            payload = outcome.result["data"]
+            self.results.put(key, payload)
+            registry.counter("service_jobs_computed", kind=job.spec.kind).inc()
+            self.queue.finish(job.job_id, result_key=key, cached=False)
+            return
+
+        failure = outcome.failure
+        if failure.kind == "cancelled":
+            if self.queue.cancel_requested(job.job_id):
+                self.queue.mark_cancelled(job.job_id)
+            else:
+                # shutdown, not a client cancel: hand the job back so a
+                # restarted server finishes it — zero lost jobs
+                self.queue.requeue(job.job_id)
+            return
+        self.queue.fail(job.job_id, {
+            "kind": failure.kind,
+            "error": failure.error,
+            "message": failure.message,
+        })

@@ -1,0 +1,119 @@
+"""The long-running service: queue + scheduler + HTTP server in one box.
+
+:class:`TieringService` owns the whole control plane for one data
+directory::
+
+    data_dir/
+      journal.jsonl   # the queue's write-ahead journal (replayed on boot)
+      results/        # content-addressed job results (ResultCache)
+      cells/          # per-cell sweep cache, shared across sweep jobs
+
+``start()`` replays the journal (re-queuing anything that was RUNNING
+when the previous process died), starts the worker pool, and serves
+HTTP on a background thread; ``stop()`` drains cleanly, re-queuing
+in-flight jobs so nothing is lost.  The obs metrics registry is
+enabled for the server's lifetime so ``/metrics`` has data, and
+restored to its prior state on stop (tests share one process-wide
+registry).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+
+from repro.harness.jsonsafe import encode_nonfinite
+from repro.obs.metrics import get_registry
+from repro.service.api import ServiceRequestHandler
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class TieringService:
+    """Facade tying the queue, scheduler, and HTTP API together."""
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        job_timeout: float | None = None,
+        use_cache: bool = True,
+        verbose: bool = False,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.queue = JobQueue(self.data_dir / "journal.jsonl")
+        self.scheduler = Scheduler(
+            self.queue, self.data_dir,
+            workers=workers, job_timeout=job_timeout, use_cache=use_cache,
+        )
+        self.httpd = _Server((host, port), ServiceRequestHandler)
+        self.httpd.service = self  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._http_thread: threading.Thread | None = None
+        self._registry_was_enabled: bool | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        registry = get_registry()
+        self._registry_was_enabled = registry.enabled
+        registry.enabled = True
+        self.scheduler.start()
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="service-http", daemon=True,
+        )
+        self._http_thread.start()
+
+    def stop(self) -> None:
+        """Clean shutdown: stop accepting, terminate + re-queue in-flight."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+            self._http_thread = None
+        self.scheduler.stop()
+        self.queue.close()
+        if self._registry_was_enabled is not None:
+            get_registry().enabled = self._registry_was_enabled
+            self._registry_was_enabled = None
+
+    def __enter__(self) -> "TieringService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- observability -----------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics`` payload: queue, cache, and registry state."""
+        return encode_nonfinite({
+            "jobs": self.queue.counts(),
+            "recovered_jobs": list(self.queue.recovered),
+            "result_cache": {
+                "hits": self.scheduler.results.hits,
+                "misses": self.scheduler.results.misses,
+                "corrupt": self.scheduler.results.corrupt,
+            },
+            "registry": get_registry().collect(),
+        })

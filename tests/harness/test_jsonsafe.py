@@ -1,0 +1,85 @@
+"""Non-finite floats must survive strict-JSON transport losslessly.
+
+``json.dumps`` emits bare ``NaN``/``Infinity`` literals (invalid JSON)
+unless ``allow_nan=False`` — at which point serialization *raises*.
+The service transports results over strict JSON, so non-finite values
+travel as ``{"__float__": ...}`` markers and decode back bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import fields
+
+import pytest
+
+from repro.harness.experiment import ExperimentResult, WorkloadTimeseries
+from repro.harness.jsonsafe import FLOAT_KEY, decode_nonfinite, encode_nonfinite
+
+
+class TestMarkers:
+    @pytest.mark.parametrize("value,marker", [
+        (float("nan"), "NaN"),
+        (float("inf"), "Infinity"),
+        (float("-inf"), "-Infinity"),
+    ])
+    def test_encode_decode(self, value, marker):
+        enc = encode_nonfinite({"x": [1.0, value]})
+        assert enc["x"][1] == {FLOAT_KEY: marker}
+        dec = decode_nonfinite(enc)
+        assert dec["x"][0] == 1.0
+        if math.isnan(value):
+            assert math.isnan(dec["x"][1])
+        else:
+            assert dec["x"][1] == value
+
+    def test_finite_payload_untouched(self):
+        payload = {"a": [1.5, 2], "b": {"c": -0.0}, "s": "NaN"}
+        assert encode_nonfinite(payload) == payload
+
+    def test_encoded_form_is_strict_json(self):
+        enc = encode_nonfinite([float("nan"), float("inf")])
+        text = json.dumps(enc, allow_nan=False)  # would raise if any leaked
+        assert math.isnan(decode_nonfinite(json.loads(text))[0])
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(ValueError, match="unknown __float__ marker"):
+            decode_nonfinite({FLOAT_KEY: "Elevendy"})
+
+
+class TestExperimentRoundTrip:
+    def _timeseries_with_nonfinite(self) -> WorkloadTimeseries:
+        ts = WorkloadTimeseries(pid=1, name="w")
+        ts.ops.extend([1.0, float("nan")])
+        ts.fthr_true.extend([float("inf"), 0.5])
+        ts.fast_pages.extend([3, 4])
+        return ts
+
+    def test_timeseries_round_trip_through_strict_json(self):
+        ts = self._timeseries_with_nonfinite()
+        wire = json.dumps(ts.to_dict(), allow_nan=False)
+        back = WorkloadTimeseries.from_dict(json.loads(wire))
+        assert back.ops[0] == 1.0 and math.isnan(back.ops[1])
+        assert math.isinf(back.fthr_true[0]) and back.fthr_true[1] == 0.5
+        assert back.fast_pages == [3, 4]
+
+    def test_finite_timeseries_dict_is_byte_identical(self):
+        """The golden suites depend on finite payloads passing through
+        the encoder unchanged."""
+        ts = WorkloadTimeseries(pid=1, name="w")
+        ts.ops.extend([1.0, 2.0])
+        d = ts.to_dict()
+        for f in fields(ts):
+            v = getattr(ts, f.name)
+            assert d[f.name] == (list(v) if isinstance(v, list) else v)
+
+    def test_experiment_result_round_trip(self):
+        ts = self._timeseries_with_nonfinite()
+        res = ExperimentResult(policy_name="vulcan", n_epochs=2,
+                               workloads={1: ts},
+                               migration_cycles=[0.0, float("inf")])
+        wire = json.dumps(res.to_dict(), allow_nan=False)
+        back = ExperimentResult.from_dict(json.loads(wire))
+        assert math.isinf(back.migration_cycles[1])
+        assert math.isnan(back.workloads[1].ops[1])

@@ -1,0 +1,142 @@
+"""HTTP API contract tests against a live server on an ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError, TieringService
+
+#: small enough that a claimed job finishes in well under a second
+QUICK = {"epochs": 2, "accesses": 100, "seed": 1}
+
+
+@pytest.fixture
+def service(tmp_path):
+    with TieringService(tmp_path / "svc", workers=1) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url)
+
+
+def raw_request(service, method, path, body=None):
+    """Bypass ServiceClient to assert raw status codes."""
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        f"{service.url}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestRoutes:
+    def test_healthz(self, client):
+        out = client.healthz()
+        assert out["ok"] is True and out["jobs"]["total"] == 0
+
+    def test_submit_status_result(self, service, client):
+        status, sub = raw_request(service, "POST", "/jobs",
+                                  {"kind": "run", "payload": QUICK})
+        assert status == 202 and sub["deduped"] is False
+        jid = sub["job"]["job_id"]
+        final = client.wait(jid, timeout=60)
+        assert final["state"] == "done"
+        result = client.result(jid)
+        assert result["kind"] == "run" and "cfi" in result
+
+    def test_duplicate_submit_returns_200(self, service, client):
+        client.submit("run", QUICK)
+        status, sub = raw_request(service, "POST", "/jobs",
+                                  {"kind": "run", "payload": QUICK})
+        assert status == 200 and sub["deduped"] is True
+
+    def test_list_and_state_filter(self, client):
+        jid = client.submit("run", QUICK)["job"]["job_id"]
+        client.wait(jid, timeout=60)
+        assert [j["job_id"] for j in client.jobs(state="done")] == [jid]
+        assert client.jobs(state="failed") == []
+
+    def test_result_before_done_is_409(self, service, client):
+        # a spec the worker hasn't picked up yet (or is still running)
+        jid = client.submit("run", {**QUICK, "epochs": 8, "accesses": 2000})["job"]["job_id"]
+        status, body = raw_request(service, "GET", f"/jobs/{jid}/result")
+        if status == 200:  # tiny race: job may already be done on slow CI
+            pytest.skip("job finished before the 409 window")
+        assert status == 409 and body["error"] == "not_done"
+        assert body["job"]["job_id"] == jid
+
+    def test_cancel_pending_then_conflict(self, service, client):
+        # a second job queued behind a running one stays PENDING long
+        # enough to cancel deterministically with workers=1
+        client.submit("run", {**QUICK, "epochs": 8, "accesses": 2000})
+        jid = client.submit("run", {**QUICK, "seed": 99})["job"]["job_id"]
+        job = client.cancel(jid)
+        assert job["state"] == "cancelled"
+        status, body = raw_request(service, "POST", f"/jobs/{jid}/cancel")
+        assert status == 409 and body["error"] == "illegal_transition"
+
+    def test_trace_is_jsonl(self, client):
+        jid = client.submit("run", QUICK)["job"]["job_id"]
+        client.wait(jid, timeout=60)
+        recs = client.trace(jid)
+        assert recs[0]["event"] == "submit"
+        assert [r["to"] for r in recs if r["event"] == "state"] == ["running", "done"]
+
+    def test_metrics_snapshot(self, client):
+        jid = client.submit("run", QUICK)["job"]["job_id"]
+        client.wait(jid, timeout=60)
+        m = client.metrics()
+        assert m["jobs"]["done"] == 1
+        assert m["result_cache"]["misses"] >= 1
+        assert any(c["name"] == "service_jobs_submitted"
+                   for c in m["registry"]["counters"])
+
+
+class TestErrorContract:
+    def test_unknown_job_404(self, service):
+        status, body = raw_request(service, "GET", "/jobs/deadbeef00000000")
+        assert status == 404 and body["error"] == "not_found"
+
+    def test_unknown_route_404(self, service):
+        status, body = raw_request(service, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, service):
+        status, body = raw_request(service, "POST", "/healthz", {})
+        assert status == 405 and body["error"] == "method_not_allowed"
+
+    def test_invalid_spec_400(self, service):
+        status, body = raw_request(service, "POST", "/jobs",
+                                   {"kind": "run", "payload": {"bogus": 1}})
+        assert status == 400 and body["error"] == "invalid_job"
+
+    def test_malformed_json_400(self, service):
+        req = urllib.request.Request(
+            f"{service.url}/jobs", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10):
+                raise AssertionError("expected 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+            assert json.loads(exc.read())["error"] == "bad_json"
+
+    def test_bad_state_filter_400(self, service):
+        status, body = raw_request(service, "GET", "/jobs?state=exploded")
+        assert status == 400 and body["error"] == "bad_state"
+
+    def test_client_raises_service_error(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.job("deadbeef00000000")
+        assert exc.value.status == 404

@@ -1,0 +1,165 @@
+"""Journaled queue: dedup, lifecycle, and crash-replay semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.jobs import IllegalTransition, JobSpec, JobState
+from repro.service.queue import JobQueue
+
+
+@pytest.fixture
+def queue(tmp_path):
+    q = JobQueue(tmp_path / "journal.jsonl")
+    yield q
+    q.close()
+
+
+def spec(seed: int = 1) -> JobSpec:
+    return JobSpec("run", {"epochs": 2, "accesses": 100, "seed": seed})
+
+
+class TestLifecycle:
+    def test_submit_claim_finish(self, queue):
+        job, deduped = queue.submit(spec())
+        assert not deduped and job.state is JobState.PENDING
+        claimed = queue.claim_next(timeout=1)
+        assert claimed.job_id == job.job_id and claimed.state is JobState.RUNNING
+        queue.finish(job.job_id, result_key="abc", cached=False)
+        assert queue.get(job.job_id).state is JobState.DONE
+        assert queue.get(job.job_id).result_key == "abc"
+
+    def test_fifo_order(self, queue):
+        ids = [queue.submit(spec(s))[0].job_id for s in (1, 2, 3)]
+        claimed = [queue.claim_next(timeout=1).job_id for _ in ids]
+        assert claimed == ids
+
+    def test_dedup_live_and_done(self, queue):
+        job, _ = queue.submit(spec())
+        for _ in range(2):  # pending, then done
+            again, deduped = queue.submit(spec())
+            assert deduped and again.job_id == job.job_id
+            if queue.get(job.job_id).state is JobState.PENDING:
+                queue.claim_next(timeout=1)
+                queue.finish(job.job_id, result_key="k", cached=False)
+        assert queue.counts()["total"] == 1
+
+    def test_resubmit_after_failure_requeues(self, queue):
+        job, _ = queue.submit(spec())
+        queue.claim_next(timeout=1)
+        queue.fail(job.job_id, {"kind": "exception", "message": "boom"})
+        again, deduped = queue.submit(spec())
+        assert not deduped and again.job_id == job.job_id
+        assert again.state is JobState.PENDING and again.error is None
+        assert queue.claim_next(timeout=1).attempts == 2
+
+    def test_cancel_pending_is_terminal(self, queue):
+        job, _ = queue.submit(spec())
+        queue.cancel(job.job_id)
+        assert queue.get(job.job_id).state is JobState.CANCELLED
+        assert queue.claim_next(timeout=0.05) is None, "cancelled job must not be claimed"
+
+    def test_cancel_running_sets_flag(self, queue):
+        job, _ = queue.submit(spec())
+        queue.claim_next(timeout=1)
+        queue.cancel(job.job_id)
+        assert queue.get(job.job_id).state is JobState.RUNNING
+        assert queue.cancel_requested(job.job_id)
+
+    def test_cancel_terminal_raises(self, queue):
+        job, _ = queue.submit(spec())
+        queue.claim_next(timeout=1)
+        queue.finish(job.job_id, result_key="k", cached=False)
+        with pytest.raises(IllegalTransition):
+            queue.cancel(job.job_id)
+
+    def test_list_filter_and_counts(self, queue):
+        a, _ = queue.submit(spec(1))
+        queue.submit(spec(2))
+        queue.claim_next(timeout=1)
+        queue.finish(a.job_id, result_key="k", cached=False)
+        assert [j.job_id for j in queue.list("done")] == [a.job_id]
+        counts = queue.counts()
+        assert counts == {"pending": 1, "running": 0, "done": 1,
+                          "failed": 0, "cancelled": 0, "total": 2}
+
+    def test_journal_lines_filtered_by_job(self, queue):
+        a, _ = queue.submit(spec(1))
+        queue.submit(spec(2))
+        recs = [json.loads(line) for line in queue.journal_lines(a.job_id)]
+        assert recs and all(r["job_id"] == a.job_id for r in recs)
+
+
+class TestCrashReplay:
+    def test_replay_rebuilds_table(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        q1 = JobQueue(path)
+        done, _ = q1.submit(spec(1))
+        pending, _ = q1.submit(spec(2))
+        q1.claim_next(timeout=1)
+        q1.finish(done.job_id, result_key="rk", cached=False)
+        q1.close()
+
+        q2 = JobQueue(path)
+        assert q2.get(done.job_id).state is JobState.DONE
+        assert q2.get(done.job_id).result_key == "rk"
+        assert q2.get(pending.job_id).state is JobState.PENDING
+        assert q2.claim_next(timeout=1).job_id == pending.job_id
+        q2.close()
+
+    def test_running_jobs_requeued_after_crash(self, tmp_path):
+        """Kill -9 while a job runs: replay re-queues it, losing nothing."""
+        path = tmp_path / "journal.jsonl"
+        q1 = JobQueue(path)
+        inflight, _ = q1.submit(spec(1))
+        waiting, _ = q1.submit(spec(2))
+        q1.claim_next(timeout=1)
+        # no close(): simulate the process dying with the job RUNNING
+        del q1
+
+        q2 = JobQueue(path)
+        assert q2.recovered == [inflight.job_id]
+        job = q2.get(inflight.job_id)
+        assert job.state is JobState.PENDING
+        # recovered work runs before the backlog (it was claimed first)
+        claimed = [q2.claim_next(timeout=1).job_id, q2.claim_next(timeout=1).job_id]
+        assert set(claimed) == {inflight.job_id, waiting.job_id}
+        assert q2.counts()["total"] == 2, "replay must not duplicate jobs"
+        q2.close()
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        q1 = JobQueue(path)
+        job, _ = q1.submit(spec(1))
+        q1.close()
+        with path.open("a") as fh:
+            fh.write('{"event": "state", "t": 1.0, "job_id": "')  # cut mid-write
+
+        q2 = JobQueue(path)
+        assert q2.get(job.job_id).state is JobState.PENDING
+        assert q2.counts()["total"] == 1
+        q2.close()
+
+    def test_cancel_requested_survives_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        q1 = JobQueue(path)
+        job, _ = q1.submit(spec(1))
+        q1.claim_next(timeout=1)
+        q1.cancel(job.job_id)
+        del q1
+
+        # the flag replays, then RUNNING->PENDING recovery clears it with
+        # the rest of the slate — a fresh attempt, not a half-cancelled one
+        q2 = JobQueue(path)
+        assert q2.get(job.job_id).state is JobState.PENDING
+        assert not q2.cancel_requested(job.job_id)
+        q2.close()
+
+    def test_empty_journal_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.touch()
+        q = JobQueue(path)
+        assert q.counts()["total"] == 0
+        q.close()
