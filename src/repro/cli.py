@@ -45,6 +45,15 @@ Commands
         python -m repro sweep --fast-gb 8 16 32 --seeds 1 2 3 \\
             --cache-dir /tmp/sweep-cache --resume   # re-runs only missing cells
 
+``fuzz``
+    Property-based scenario fuzzing: generate arbitrary valid scenario
+    timelines, run each under the invariant oracle, minimize and
+    optionally promote anything that fails::
+
+        python -m repro fuzz --runs 25 --seed 7 --json
+        python -m repro fuzz --runs 100 --workers 4 --promote
+        python -m repro fuzz --replay tests/golden/fuzz_regressions
+
 ``run``/``compare``/``sweep`` also accept ``--json`` for
 machine-readable output instead of rendered tables.
 """
@@ -417,7 +426,8 @@ def _scenario_check(sres, spec) -> list[str]:
 
 
 def cmd_scenario_run(args: argparse.Namespace) -> int:
-    from repro.metrics.fairness import churn_fairness
+    from repro.fuzz.oracle import InvariantOracle
+    from repro.harness.recipes import scenario_summary_json
     from repro.scenario import run_scenario
 
     spec = _load_scenario_spec(args)
@@ -426,19 +436,27 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         _check_trace_path(args.trace)
         tracer.enable()
     try:
-        sres = run_scenario(spec, seed=args.seed, policy=args.policy, epochs=args.epochs)
+        # --check attaches the full per-epoch invariant battery; an
+        # InvariantViolation propagates as a loud failure.
+        oracle = InvariantOracle() if args.check else None
+        sres = run_scenario(
+            spec, seed=args.seed, policy=args.policy, epochs=args.epochs, oracle=oracle,
+        )
         if args.trace:
             _export_trace(sres.result, args.trace)
     finally:
         if args.trace:
             tracer.disable()
-    fairness = churn_fairness(sres.result, window=args.window)
+    payload = scenario_summary_json(sres, window=args.window)
+    fairness = payload["fairness_under_churn"]
     check_errors = _scenario_check(sres, spec) if args.check else []
     if args.json:
-        payload = sres.to_dict()
-        payload["fairness_under_churn"] = fairness
         if args.check:
-            payload["check"] = {"passed": not check_errors, "errors": check_errors}
+            payload["check"] = {
+                "passed": not check_errors,
+                "errors": check_errors,
+                "epochs_checked": oracle.epochs_checked,
+            }
         print(json.dumps(payload, indent=2))
     else:
         s = sres.summary()
@@ -492,6 +510,82 @@ def cmd_scenario_list(args: argparse.Namespace) -> int:
         title="canned scenarios (repro scenario run NAME)",
     ))
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fuzz.promote import iter_crashers, load_crasher
+    from repro.fuzz.runner import campaign, case_finding
+
+    if args.replay is not None:
+        paths = iter_crashers(args.replay)
+        results = []
+        for p in paths:
+            case, violation = load_crasher(p)
+            finding = case_finding(case)
+            results.append({
+                "file": p.name,
+                "original_check": violation["check"],
+                "status": "fixed" if finding is None else "failing",
+                "finding": finding,
+            })
+        green = all(r["status"] == "fixed" for r in results)
+        if args.json:
+            print(json.dumps({"replayed": len(results), "green": green,
+                              "results": results}, indent=2))
+        elif results:
+            print(render_table(
+                ["file", "originally caught", "now"],
+                [[r["file"], r["original_check"], r["status"]] for r in results],
+                title=f"promoted crashers in {args.replay}",
+            ))
+        else:
+            print(f"no promoted crashers in {args.replay}")
+        for r in results:
+            if r["status"] == "failing":
+                print(f"REGRESSION: {r['file']} still fails "
+                      f"[{r['finding']['check']}] {r['finding']['message']}", file=sys.stderr)
+        return 0 if green else 1
+
+    t0 = time.monotonic()
+    report = campaign(
+        seed=args.seed,
+        runs=args.runs,
+        max_epochs=args.max_epochs,
+        workers=args.workers,
+        shrink=not args.no_shrink,
+        promote_dir=args.promote,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    elapsed = time.monotonic() - t0
+    if args.json:
+        # the report itself carries no wall-clock, so it is bit-identical
+        # across replays of the same seed; timing goes to stderr below
+        print(json.dumps(report, indent=2))
+    else:
+        c = report["counts"]
+        print(render_table(
+            ["runs", "ok", "violations", "replayed", "mismatches", "parity"],
+            [[report["runs"], c["ok"], c["violations"], c["replay_checked"],
+              c["replay_mismatches"],
+              "-" if report["service_parity"] is None
+              else ("ok" if report["service_parity"]["ok"] else "FAIL")]],
+            title=f"fuzz campaign seed={report['seed']}",
+        ))
+        for f in report["failures"]:
+            line = f"case {f['index']}: [{f['finding']['check']}] {f['finding']['message']}"
+            if "shrink" in f:
+                line += (f"  (shrunk {f['original']['n_events']}ev/"
+                         f"{f['original']['n_epochs']}ep -> "
+                         f"{f['shrink']['n_events']}ev/{f['shrink']['n_epochs']}ep "
+                         f"in {f['shrink']['steps']} steps)")
+            print(line)
+            if "promoted" in f:
+                print(f"  promoted -> {f['promoted']}")
+    print(f"fuzz: {report['runs']} runs in {elapsed:.1f}s, "
+          f"{'clean' if report['clean'] else 'FAILURES FOUND'}", file=sys.stderr)
+    return 0 if report["clean"] else 1
 
 
 def cmd_costs(args: argparse.Namespace) -> int:
@@ -681,6 +775,28 @@ def build_parser() -> argparse.ArgumentParser:
     sc_run.set_defaults(func=cmd_scenario_run)
     sc_list = scsub.add_parser("list", help="list canned scenarios")
     sc_list.set_defaults(func=cmd_scenario_list)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="property-based scenario fuzzing with an invariant oracle")
+    fuzz.add_argument("--seed", type=int, default=7,
+                      help="campaign master seed (same seed => identical run list and report)")
+    fuzz.add_argument("--runs", type=int, default=25, help="number of generated cases")
+    fuzz.add_argument("--max-epochs", type=int, default=24,
+                      help="upper bound on generated timeline length")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="worker processes (results identical to --workers 1)")
+    fuzz.add_argument("--promote", metavar="DIR", nargs="?",
+                      const="tests/golden/fuzz_regressions", default=None,
+                      help="write minimized crashers as regression files "
+                           "(default dir: tests/golden/fuzz_regressions)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip timeline minimization of failing cases")
+    fuzz.add_argument("--replay", metavar="DIR", default=None,
+                      help="replay promoted crashers from DIR instead of fuzzing; "
+                           "exit 1 if any still fails")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the full campaign report as JSON (deterministic)")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     bench = sub.add_parser("bench", help="time the fixed Fig. 9 scenario (hot-path benchmark)")
     bench.add_argument("--quick", action="store_true",

@@ -43,12 +43,22 @@ INITIAL_CREDITS = 64
 
 @dataclass
 class CreditLedger:
-    """Per-workload credit balances."""
+    """Per-workload credit balances.
+
+    ``endowed`` tracks the net credit mass that should be outstanding:
+    each ``ensure`` banks the initial endowment, each ``drop`` retires
+    the departing balance (positive or negative).  Since transfers are
+    zero-sum, ``sum(credits.values()) == endowed`` must hold at every
+    instant — the conservation invariant the fuzz oracle checks.
+    """
 
     credits: dict[int, int] = field(default_factory=dict)
+    endowed: int = 0
 
     def ensure(self, pid: int, initial: int = INITIAL_CREDITS) -> None:
-        self.credits.setdefault(pid, initial)
+        if pid not in self.credits:
+            self.credits[pid] = initial
+            self.endowed += initial
 
     def get(self, pid: int) -> int:
         return self.credits.get(pid, 0)
@@ -61,7 +71,18 @@ class CreditLedger:
         self.credits[borrower] = self.credits.get(borrower, 0) - units
 
     def drop(self, pid: int) -> None:
-        self.credits.pop(pid, None)
+        balance = self.credits.pop(pid, None)
+        if balance is not None:
+            self.endowed -= balance
+
+    def check_conservation(self) -> None:
+        """Raise ``RuntimeError`` if credits were minted or destroyed."""
+        total = sum(self.credits.values())
+        if total != self.endowed:
+            raise RuntimeError(
+                f"credit conservation broken: Σ balances = {total} but "
+                f"endowment says {self.endowed} (drift {total - self.endowed:+d})"
+            )
 
 
 @dataclass

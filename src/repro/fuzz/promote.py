@@ -1,0 +1,62 @@
+"""Crasher-to-regression promotion (DESIGN.md §fuzz).
+
+A minimized failing case is written as one content-hashed JSON file —
+``crasher_<spec-hash-12>.json`` — carrying the spec, the machine
+sizing, the finding it reproduced, and the seed pair that found it.
+Files promoted under ``tests/golden/fuzz_regressions/`` become canned
+scenarios the tier-1 suite replays forever: once the underlying bug is
+fixed, the replay must stay green, so the regression can never return
+silently.
+
+Content-hash naming makes promotion idempotent (re-promoting the same
+minimized spec overwrites the identical file) and collision-free
+(different specs get different names).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fuzz.strategies import FuzzCase
+from repro.scenario.spec import ScenarioSpec
+
+CRASHER_FORMAT = "fuzz-crasher-v1"
+
+
+def promote_crasher(case: FuzzCase, finding: dict, dest_dir) -> Path:
+    """Write ``case`` as a regression file; returns the path."""
+    dest = Path(dest_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": CRASHER_FORMAT,
+        "found_by": {"master_seed": case.master_seed, "index": case.index},
+        "fast_gb": case.fast_gb,
+        "violation": dict(finding),
+        "spec": case.spec.to_dict(),
+    }
+    path = dest / f"crasher_{case.spec.content_hash()[:12]}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_crasher(path) -> tuple[FuzzCase, dict]:
+    """Read one regression file back as a runnable (case, violation)."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != CRASHER_FORMAT:
+        raise ValueError(f"{path}: not a {CRASHER_FORMAT} file")
+    case = FuzzCase(
+        index=data["found_by"]["index"],
+        master_seed=data["found_by"]["master_seed"],
+        spec=ScenarioSpec.from_dict(data["spec"]),
+        fast_gb=data["fast_gb"],
+    )
+    return case, data["violation"]
+
+
+def iter_crashers(directory) -> list[Path]:
+    """All regression files in ``directory``, name-sorted (stable)."""
+    d = Path(directory)
+    if not d.is_dir():
+        return []
+    return sorted(d.glob("crasher_*.json"))

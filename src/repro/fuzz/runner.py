@@ -1,0 +1,304 @@
+"""The fuzz campaign driver behind ``repro fuzz`` (DESIGN.md §fuzz).
+
+A campaign is a deterministic function of ``(seed, runs, max_epochs)``:
+the full case list is generated up front from per-case seed pairs, each
+case runs with an attached :class:`~repro.fuzz.oracle.InvariantOracle`,
+and the report is assembled in case order — so the same seed always
+yields the same run list and the same report, serial or parallel
+(``harness.parallel`` fans cases out exactly like sweep cells).
+
+On top of the per-case oracle the campaign itself cross-checks:
+
+* **replay determinism** — every ``replay_every``-th case is re-run
+  in-process and its full record compared field-for-field (this is
+  also what proves serial ≡ workers>1: worker records must match the
+  in-parent replay bit-for-bit);
+* **CLI ≡ service parity** — one ok case is run both through the CLI
+  assembly path (``harness.recipes.scenario_summary_json``) and the
+  service's ``run_job``, and the payloads compared canonically.
+
+Failures are shrunk (:mod:`repro.fuzz.shrink`) and optionally promoted
+(:mod:`repro.fuzz.promote`) to content-hashed regression files.
+
+The report contains no wall-clock values — timing goes to stderr in the
+CLI layer only — so reports themselves are replay-comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.fuzz.oracle import InvariantOracle, InvariantViolation
+from repro.fuzz.promote import promote_crasher
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.strategies import FuzzCase, generate_case
+from repro.harness.parallel import CellTask, execute_tasks
+from repro.obs.metrics import get_registry
+
+#: epoch-horizon default for generated timelines
+DEFAULT_MAX_EPOCHS = 24
+
+#: how many failures per campaign get the (expensive) shrink treatment
+MAX_SHRINKS = 5
+
+#: churn-fairness window used by the parity spot-check
+PARITY_WINDOW = 10
+
+
+def _machine_config(fast_gb: float):
+    """The fuzz machine: default config with a resized fast tier
+    (same construction as ``harness.recipes.sweep_cell``)."""
+    from dataclasses import replace
+
+    from repro.sim.config import MachineConfig, TierConfig
+    from repro.sim.units import GiB
+
+    mc = MachineConfig()
+    return replace(mc, fast=TierConfig(
+        name="fast",
+        capacity_bytes=int(fast_gb * GiB),
+        load_latency_ns=mc.fast.load_latency_ns,
+        bandwidth_gbps=mc.fast.bandwidth_gbps,
+    ))
+
+
+def execute_case(case: FuzzCase):
+    """Run one case under a fresh oracle; returns its ScenarioResult.
+
+    Raises :class:`InvariantViolation` (or whatever the engine raises)
+    on failure — callers classify.
+    """
+    from repro.scenario.engine import ScenarioExperiment
+
+    exp = ScenarioExperiment(
+        case.spec,
+        oracle=InvariantOracle(),
+        machine_config=_machine_config(case.fast_gb),
+    )
+    exp.run()
+    assert exp.scenario_result is not None
+    return exp.scenario_result
+
+
+def _result_hash(sres) -> str:
+    canon = json.dumps(sres.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def case_finding(case: FuzzCase) -> dict | None:
+    """None when the case passes, else a finding dict with a stable
+    ``check`` id (``crash:<Type>`` for non-oracle exceptions)."""
+    try:
+        execute_case(case)
+    except InvariantViolation as exc:
+        return exc.to_dict()
+    except Exception as exc:  # noqa: BLE001 — every crash is a finding
+        return {
+            "check": f"crash:{type(exc).__name__}",
+            "epoch": None,
+            "message": str(exc),
+            "context": {},
+        }
+    return None
+
+
+def run_case_record(case: FuzzCase) -> dict:
+    """One case → its plain-data campaign record (order-free)."""
+    record = {
+        "index": case.index,
+        "policy": case.spec.policy,
+        "fast_gb": case.fast_gb,
+        "n_epochs": case.spec.n_epochs,
+        "n_workloads": len(case.spec.workloads),
+        "n_events": len(case.spec.events),
+        "spec_hash": case.spec.content_hash(),
+    }
+    try:
+        sres = execute_case(case)
+    except InvariantViolation as exc:
+        record.update(status="violation", finding=exc.to_dict(), result_hash=None)
+    except Exception as exc:  # noqa: BLE001
+        record.update(
+            status="violation",
+            finding={
+                "check": f"crash:{type(exc).__name__}",
+                "epoch": None,
+                "message": str(exc),
+                "context": {},
+            },
+            result_hash=None,
+        )
+    else:
+        record.update(status="ok", finding=None, result_hash=_result_hash(sres))
+    return record
+
+
+def run_case(case: str = "", seed: int = 0) -> dict:
+    """Worker-process entry: ``case`` is a FuzzCase as JSON.
+
+    Module-level with a ``seed`` kwarg so it satisfies the
+    ``harness.parallel`` factory contract (the seed is carried inside
+    the case; the task-level one is ignored).
+    """
+    return run_case_record(FuzzCase.from_dict(json.loads(case)))
+
+
+def _service_parity(case: FuzzCase) -> dict:
+    """Run one spec through the CLI assembly path and the service's
+    ``run_job`` and compare the payloads canonically (default machine
+    on both sides — the service has no machine-sizing knob)."""
+    from repro.harness.jsonsafe import encode_nonfinite
+    from repro.harness.recipes import scenario_summary_json
+    from repro.scenario.engine import run_scenario
+    from repro.service.jobs import JobSpec
+    from repro.service.runners import run_job
+
+    sres = run_scenario(case.spec, oracle=InvariantOracle())
+    cli = encode_nonfinite(scenario_summary_json(sres, window=PARITY_WINDOW))
+    svc = run_job(JobSpec(
+        kind="scenario",
+        payload={"spec": case.spec.to_dict(), "window": PARITY_WINDOW},
+    ))
+    svc = {k: v for k, v in svc.items() if k != "kind"}
+    ok = (json.dumps(cli, sort_keys=True) == json.dumps(svc, sort_keys=True))
+    return {"ok": ok, "index": case.index, "spec_hash": case.spec.content_hash()}
+
+
+def campaign(
+    *,
+    seed: int,
+    runs: int,
+    max_epochs: int = DEFAULT_MAX_EPOCHS,
+    workers: int = 1,
+    shrink: bool = True,
+    promote_dir=None,
+    replay_every: int = 10,
+    parity_check: bool = True,
+    log=None,
+) -> dict:
+    """One full fuzz campaign; returns the deterministic report dict."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    registry = get_registry()
+    say = log if log is not None else (lambda _msg: None)
+
+    cases = [generate_case(seed, i, max_epochs=max_epochs) for i in range(runs)]
+
+    # -- execute ----------------------------------------------------------
+    if workers <= 1:
+        records = [run_case_record(c) for c in cases]
+    else:
+        tasks = [
+            CellTask(
+                index=c.index, cell_index=c.index,
+                params=(("case", json.dumps(c.to_dict(), sort_keys=True)),),
+                seed=seed, cell_seed=seed,
+            )
+            for c in cases
+        ]
+        outcomes = execute_tasks(tasks, run_case, workers=workers)
+        records = []
+        for c in cases:
+            out = outcomes[c.index]
+            if out.ok:
+                records.append(out.result["data"])
+            else:
+                # the worker process itself died — still a finding
+                records.append({
+                    "index": c.index,
+                    "policy": c.spec.policy,
+                    "fast_gb": c.fast_gb,
+                    "n_epochs": c.spec.n_epochs,
+                    "n_workloads": len(c.spec.workloads),
+                    "n_events": len(c.spec.events),
+                    "spec_hash": c.spec.content_hash(),
+                    "status": "violation",
+                    "finding": {
+                        "check": f"crash:{out.failure.error}",
+                        "epoch": None,
+                        "message": out.failure.message,
+                        "context": {},
+                    },
+                    "result_hash": None,
+                })
+    for rec in records:
+        registry.counter("fuzz_runs_total", status=rec["status"]).inc()
+        if rec["finding"] is not None:
+            registry.counter("fuzz_violations_total", check=rec["finding"]["check"]).inc()
+
+    # -- replay determinism ----------------------------------------------
+    replay = {"checked": [], "mismatches": []}
+    for i in range(0, runs, max(replay_every, 1)):
+        again = run_case_record(cases[i])
+        replay["checked"].append(i)
+        if again != records[i]:
+            replay["mismatches"].append({"index": i, "first": records[i], "replay": again})
+            registry.counter("fuzz_violations_total", check="determinism").inc()
+    if replay["mismatches"]:
+        say(f"replay determinism FAILED on {len(replay['mismatches'])} case(s)")
+
+    # -- CLI ≡ service parity --------------------------------------------
+    parity = None
+    if parity_check:
+        ok_cases = [c for c, r in zip(cases, records) if r["status"] == "ok"]
+        if ok_cases:
+            probe = min(ok_cases, key=lambda c: (c.spec.n_epochs, c.index))
+            parity = _service_parity(probe)
+            if not parity["ok"]:
+                registry.counter("fuzz_violations_total", check="service_parity").inc()
+                say(f"CLI/service parity FAILED on case {probe.index}")
+
+    # -- shrink + promote -------------------------------------------------
+    failures = []
+    shrunk = 0
+    for rec in records:
+        if rec["status"] != "violation":
+            continue
+        entry = {
+            "index": rec["index"],
+            "finding": rec["finding"],
+            "original": {"n_epochs": rec["n_epochs"], "n_events": rec["n_events"]},
+        }
+        case = cases[rec["index"]]
+        if shrink and shrunk < MAX_SHRINKS:
+            shrunk += 1
+            say(f"shrinking case {rec['index']} ({rec['finding']['check']}) ...")
+            res = shrink_case(case, rec["finding"]["check"], case_finding)
+            registry.counter("fuzz_shrink_steps_total").inc(res.steps)
+            case = res.case
+            entry["shrink"] = {
+                "steps": res.steps,
+                "attempts": res.attempts,
+                "n_epochs": case.spec.n_epochs,
+                "n_events": len(case.spec.events),
+            }
+        entry["minimized"] = case.to_dict()
+        if promote_dir is not None:
+            path = promote_crasher(case, rec["finding"], promote_dir)
+            entry["promoted"] = str(path)
+            say(f"promoted case {rec['index']} -> {path}")
+        failures.append(entry)
+
+    n_ok = sum(r["status"] == "ok" for r in records)
+    return {
+        "seed": seed,
+        "runs": runs,
+        "max_epochs": max_epochs,
+        "workers": workers,
+        "counts": {
+            "ok": n_ok,
+            "violations": runs - n_ok,
+            "replay_checked": len(replay["checked"]),
+            "replay_mismatches": len(replay["mismatches"]),
+        },
+        "cases": records,
+        "failures": failures,
+        "replay": replay,
+        "service_parity": parity,
+        "clean": (
+            n_ok == runs
+            and not replay["mismatches"]
+            and (parity is None or parity["ok"])
+        ),
+    }

@@ -1,0 +1,122 @@
+"""Greedy timeline minimization for failing fuzz cases (DESIGN.md §fuzz).
+
+Given a case whose run fails with check ``X``, repeatedly try smaller
+candidates — drop one event, truncate the epoch horizon to the last
+scripted epoch, drop one workload (plus its targeted events), halve a
+workload scalar — and keep any candidate that *still fails with the
+same check id*.  Candidates that no longer validate are skipped, so the
+shrinker can never emit an invalid spec, and every accepted step
+strictly reduces the timeline, so the result is ≤ the original in
+events and epochs by construction.
+
+The run function is injected (``run_fn(case) -> finding | None``) so
+this module stays import-cycle-free and the tests can shrink against a
+stub target without running experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.fuzz.strategies import FuzzCase
+from repro.scenario.spec import ScenarioSpec, ScenarioSpecError, WorkloadDef
+
+#: hard cap on candidate executions per shrink (time box)
+MAX_ATTEMPTS = 200
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    case: FuzzCase
+    steps: int  # accepted reductions
+    attempts: int  # candidate executions (incl. rejected)
+
+
+def _valid(spec: ScenarioSpec) -> ScenarioSpec | None:
+    try:
+        return spec.validate()
+    except ScenarioSpecError:
+        return None
+
+
+def _smaller_workload(d: WorkloadDef) -> WorkloadDef | None:
+    """Halve the first still-reducible scalar; None when fully shrunk."""
+    if d.rss_pages > 40:
+        return replace(d, rss_pages=max(40, d.rss_pages // 2))
+    if d.accesses_per_thread > 200:
+        return replace(d, accesses_per_thread=max(200, d.accesses_per_thread // 2))
+    if d.n_threads > 1:
+        return replace(d, n_threads=max(1, d.n_threads // 2))
+    return None
+
+
+def _candidates(case: FuzzCase) -> Iterator[tuple[str, FuzzCase]]:
+    """Strictly-smaller valid candidates, in deterministic order."""
+    spec = case.spec
+
+    # 1. drop one event (dropping a depart that feeds a restart fails
+    #    validation and is skipped automatically)
+    for i in range(len(spec.events)):
+        cand = _valid(replace(spec, events=spec.events[:i] + spec.events[i + 1:]))
+        if cand is not None:
+            yield f"drop event {i}", replace(case, spec=cand)
+
+    # 2. truncate the horizon to just past the last scripted epoch
+    last = spec.last_scripted_epoch()
+    if last + 1 < spec.n_epochs:
+        cand = _valid(replace(spec, n_epochs=last + 1))
+        if cand is not None:
+            yield f"truncate to {last + 1} epochs", replace(case, spec=cand)
+
+    # 3. drop one workload and every event that targets it
+    if len(spec.workloads) > 1:
+        for d in spec.workloads:
+            keep_wl = tuple(w for w in spec.workloads if w.key != d.key)
+            keep_ev = tuple(e for e in spec.events if e.target != d.key)
+            cand = _valid(replace(spec, workloads=keep_wl, events=keep_ev))
+            if cand is not None:
+                yield f"drop workload {d.key}", replace(case, spec=cand)
+
+    # 4. halve one workload scalar
+    for d in spec.workloads:
+        smaller = _smaller_workload(d)
+        if smaller is None:
+            continue
+        wls = tuple(smaller if w.key == d.key else w for w in spec.workloads)
+        cand = _valid(replace(spec, workloads=wls))
+        if cand is not None:
+            yield f"shrink workload {d.key}", replace(case, spec=cand)
+
+
+def shrink_case(
+    case: FuzzCase,
+    check: str,
+    run_fn: Callable[[FuzzCase], dict | None],
+    *,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> ShrinkResult:
+    """Minimize ``case`` while ``run_fn`` keeps failing with ``check``.
+
+    ``run_fn`` returns the finding dict (with a ``"check"`` key) when
+    the candidate fails, or None when it passes.  Greedy first-accept:
+    each accepted candidate restarts the candidate walk, and the loop
+    ends at a fixpoint (a full walk with no acceptance) or at the
+    attempt cap.
+    """
+    steps = 0
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for _desc, cand in _candidates(case):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            finding = run_fn(cand)
+            if finding is not None and finding.get("check") == check:
+                case = cand
+                steps += 1
+                progress = True
+                break
+    return ShrinkResult(case=case, steps=steps, attempts=attempts)

@@ -62,6 +62,22 @@ def run_summary_json(result: ExperimentResult, *, mix: str, seed: int) -> dict:
     return payload
 
 
+# -- scenarios -------------------------------------------------------------------
+
+def scenario_summary_json(sres, *, window: int) -> dict:
+    """The canonical scenario payload: full result + churn fairness.
+
+    Shared by ``repro scenario run --json``, the service's scenario
+    runner, and the fuzzer's CLI≡service parity check — one assembly
+    function is what makes the three outputs comparable byte-for-byte.
+    """
+    from repro.metrics.fairness import churn_fairness
+
+    out = sres.to_dict()
+    out["fairness_under_churn"] = churn_fairness(sres.result, window=window)
+    return out
+
+
 # -- sweep cells -----------------------------------------------------------------
 
 def sweep_cell(fast_gb: float, *, policy: str, mix: str, epochs: int, accesses: int, seed: int):

@@ -139,6 +139,19 @@ class PageStatsStore:
         """
         return np.flatnonzero((self.pid == pid) & (self.state != STATE_FREE))
 
+    def foreign_frames(self, live_pids) -> np.ndarray:
+        """Non-free frames whose owner is not in ``live_pids``, ascending.
+
+        The global leak sweep: after teardown no frame may remain bound
+        to a pid that is no longer running.  Complements
+        :meth:`owned_frames`, which only audits one (known) pid.
+        """
+        bound = self.state != STATE_FREE
+        if not bound.any():
+            return np.empty(0, dtype=np.int64)
+        live = np.asarray(sorted(live_pids), dtype=np.int64)
+        return np.flatnonzero(bound & ~np.isin(self.pid, live))
+
     def fast_usage(self, pid: int) -> int:
         """How many fast-tier frames ``pid`` maps (PTE-walk equivalent)."""
         pfns = self.frames_of_pid(pid)

@@ -205,6 +205,35 @@ class HeatStore:
         heats = ph.heat[vpns - ph.base].tolist()
         return dict(zip(vpns.tolist(), heats))
 
+    def check_consistency(self) -> None:
+        """Raise ``RuntimeError`` if any pid's key set and arrays diverge.
+
+        The dict-equivalence contract (module docstring) only holds if
+        the insertion-ordered key set and the dense ``live`` mask name
+        exactly the same vpns, the order cache (when built) mirrors the
+        key set, and every dead slot holds exactly 0.0 heat (decay
+        compaction zeroes what it drops).  Used by the fuzz oracle.
+        """
+        for pid, ph in self._pids.items():
+            live_vpns = set((np.flatnonzero(ph.live) + ph.base).tolist())
+            order_vpns = set(ph.order)
+            if live_vpns != order_vpns:
+                missing = sorted(live_vpns - order_vpns)[:8]
+                extra = sorted(order_vpns - live_vpns)[:8]
+                raise RuntimeError(
+                    f"pid {pid} heat key set desynced: {len(live_vpns)} live vs "
+                    f"{len(order_vpns)} ordered (live-only {missing}, order-only {extra})"
+                )
+            if ph._order_cache is not None and set(ph._order_cache.tolist()) != order_vpns:
+                raise RuntimeError(f"pid {pid} heat order cache stale")
+            dead_heat = np.flatnonzero(~ph.live & (ph.heat != 0.0))
+            if dead_heat.size:
+                vpn = int(dead_heat[0] + ph.base)
+                raise RuntimeError(
+                    f"pid {pid}: {dead_heat.size} dead slot(s) hold nonzero heat "
+                    f"(first vpn {vpn} = {float(ph.heat[dead_heat[0]])})"
+                )
+
     def hottest(self, pid: int, n: int) -> list[tuple[int, float]]:
         """Top-``n`` (vpn, heat), hottest first, vpn-tiebroken.
 

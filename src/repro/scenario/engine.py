@@ -16,6 +16,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.core.classify import ServiceClass
+from repro.fuzz.oracle import InvariantOracle
 from repro.harness.experiment import ColocationExperiment, ExperimentResult
 from repro.obs.events import EventKind
 from repro.obs.trace import get_tracer
@@ -144,10 +145,14 @@ class ScenarioExperiment(ColocationExperiment):
         *,
         seed: int | None = None,
         policy: str | None = None,
+        oracle: InvariantOracle | None = None,
         **kwargs,
     ) -> None:
         spec.validate()
         self.spec = spec
+        #: optional per-epoch invariant battery (fuzzer / --check); the
+        #: oracle is read-only so attaching one never perturbs the run
+        self.oracle = oracle
         run_seed = spec.seed if seed is None else seed
         self._defs = {d.key: d for d in spec.workloads}
         self._gen = {d.key: 0 for d in spec.workloads}
@@ -190,9 +195,21 @@ class ScenarioExperiment(ColocationExperiment):
         for ev in events:
             self._dispatch(ev, epoch, tracer)
 
+    def _step_epoch(self, result: ExperimentResult, epoch: int, tracer) -> None:
+        super()._step_epoch(result, epoch, tracer)
+        if self.oracle is not None:
+            self.oracle.check_epoch(self, epoch)
+
     def _finish_run(self, result: ExperimentResult) -> None:
-        self.allocator.check_consistency()
-        self.allocator.store.check_row_invariants()
+        # Teardown checks always run, oracle or not; with an oracle the
+        # full battery (leaks, credits, caps, heat books, metric ranges)
+        # replaces these two ad-hoc asserts and runs after the result is
+        # assembled below.
+        if self.oracle is None:
+            from repro.fuzz.oracle import check_frame_conservation, check_store_rows
+
+            check_frame_conservation(self.allocator)
+            check_store_rows(self.allocator.store)
         self.scenario_result = ScenarioResult(
             spec_name=self.spec.name,
             spec_hash=self.spec.content_hash(),
@@ -207,6 +224,8 @@ class ScenarioExperiment(ColocationExperiment):
             faults=list(self.injector.records),
             leak_checks=self._leak_checks,
         )
+        if self.oracle is not None:
+            self.oracle.check_final(self, result)
 
     # -- event dispatch ------------------------------------------------------
 
@@ -218,6 +237,10 @@ class ScenarioExperiment(ColocationExperiment):
     _leak_checks: list
 
     def run(self, n_epochs: int | None = None) -> ExperimentResult:
+        if n_epochs is not None and n_epochs != self.spec.n_epochs:
+            # A shorter horizon would silently drop scripted events (the
+            # epoch loop just never reaches them) — fail loudly instead.
+            self.spec.check_horizon(n_epochs)
         self._departures = []
         self._restarts = []
         self._phase_shifts = []

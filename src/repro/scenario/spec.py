@@ -15,6 +15,8 @@ import hashlib
 import json
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 #: workload generator kinds the engine can instantiate
 VALID_KINDS = ("memcached", "pagerank", "liblinear", "microbench")
 VALID_SERVICES = ("LC", "BE")
@@ -39,6 +41,15 @@ FAULT_KEYS = ("aborted_sync", "lost_async", "poisoned_shadow")
 
 class ScenarioSpecError(ValueError):
     """A spec failed validation."""
+
+
+def _is_int(x) -> bool:
+    """A real integer (bools masquerade as ints and must not count)."""
+    return isinstance(x, (int, np.integer)) and not isinstance(x, bool)
+
+
+def _is_number(x) -> bool:
+    return _is_int(x) or isinstance(x, (float, np.floating))
 
 
 @dataclass(frozen=True)
@@ -139,6 +150,11 @@ class ScenarioSpec:
             raise ScenarioSpecError(f"{d.key}: unknown kind {d.kind!r} (pick from {VALID_KINDS})")
         if d.service not in VALID_SERVICES:
             raise ScenarioSpecError(f"{d.key}: service must be LC or BE, got {d.service!r}")
+        for name in ("rss_pages", "n_threads", "start_epoch", "accesses_per_thread"):
+            if not _is_int(getattr(d, name)):
+                raise ScenarioSpecError(
+                    f"{d.key}: {name} must be an integer, got {getattr(d, name)!r}"
+                )
         if d.rss_pages <= 0 or d.n_threads <= 0 or d.accesses_per_thread <= 0:
             raise ScenarioSpecError(f"{d.key}: rss/threads/accesses must be positive")
         if not 0 <= d.start_epoch < self.n_epochs:
@@ -148,6 +164,10 @@ class ScenarioSpec:
 
     def _validate_event(self, ev: ScenarioEvent, starts: dict, alive: dict) -> None:
         where = f"event @{ev.epoch} {ev.action}"
+        if not _is_int(ev.epoch):
+            # The engine dispatches events from a dict keyed by int epoch,
+            # so a float/str/bool epoch would silently never fire.
+            raise ScenarioSpecError(f"{where}: epoch must be an integer, got {ev.epoch!r}")
         if not 0 <= ev.epoch < self.n_epochs:
             raise ScenarioSpecError(f"{where}: epoch outside [0, {self.n_epochs})")
         if ev.action not in VALID_ACTIONS:
@@ -181,18 +201,24 @@ class ScenarioSpec:
         elif ev.action == "link_degrade":
             bf = ev.params.get("bandwidth_factor", 1.0)
             lf = ev.params.get("latency_factor", 1.0)
-            if not 0 < bf <= 1:
-                raise ScenarioSpecError(f"{where}: bandwidth_factor must lie in (0, 1]")
-            if lf < 1:
-                raise ScenarioSpecError(f"{where}: latency_factor must be >= 1")
+            if not _is_number(bf) or not 0 < bf <= 1:
+                raise ScenarioSpecError(
+                    f"{where}: bandwidth_factor must be a number in (0, 1], got {bf!r}"
+                )
+            if not _is_number(lf) or lf < 1:
+                raise ScenarioSpecError(
+                    f"{where}: latency_factor must be a number >= 1, got {lf!r}"
+                )
         elif ev.action == "faults_set":
             if not ev.params:
                 raise ScenarioSpecError(f"{where}: needs at least one fault probability")
             for k, p in ev.params.items():
                 if k not in FAULT_KEYS:
                     raise ScenarioSpecError(f"{where}: unknown fault kind {k!r} (pick from {FAULT_KEYS})")
-                if not 0.0 <= float(p) <= 1.0:
-                    raise ScenarioSpecError(f"{where}: probability of {k} must lie in [0, 1]")
+                if not _is_number(p) or not 0.0 <= p <= 1.0:
+                    raise ScenarioSpecError(
+                        f"{where}: probability of {k} must be a number in [0, 1], got {p!r}"
+                    )
 
     # -- serialization ----------------------------------------------------
 
@@ -234,13 +260,26 @@ class ScenarioSpec:
         canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode()).hexdigest()
 
+    def last_scripted_epoch(self) -> int:
+        """Latest epoch at which anything is scripted to happen."""
+        return max([d.start_epoch for d in self.workloads]
+                   + [e.epoch for e in self.events], default=0)
+
+    def check_horizon(self, n_epochs: int) -> None:
+        """Reject a run horizon that would silently drop scripted activity.
+
+        Shared by :meth:`with_overrides` and the engine's ``run()``
+        override guard — both paths must fail loudly rather than run a
+        truncated timeline that no longer means what the spec says.
+        """
+        last = self.last_scripted_epoch()
+        if n_epochs <= last:
+            raise ScenarioSpecError(
+                f"n_epochs {n_epochs} would cut off scripted activity at epoch {last}"
+            )
+
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy with fields replaced (CLI --seed/--policy/--epochs)."""
         if "n_epochs" in kwargs and kwargs["n_epochs"] != self.n_epochs:
-            last = max([d.start_epoch for d in self.workloads]
-                       + [e.epoch for e in self.events], default=0)
-            if kwargs["n_epochs"] <= last:
-                raise ScenarioSpecError(
-                    f"n_epochs {kwargs['n_epochs']} would cut off scripted activity at epoch {last}"
-                )
+            self.check_horizon(kwargs["n_epochs"])
         return replace(self, **kwargs).validate()

@@ -91,7 +91,7 @@ def _run_sweep(payload: dict, cell_cache_dir: str | None) -> dict:
 
 
 def _run_scenario(payload: dict, cell_cache_dir: str | None) -> dict:
-    from repro.metrics.fairness import churn_fairness
+    from repro.harness.recipes import scenario_summary_json
     from repro.scenario import ScenarioSpec, run_scenario
 
     if payload["name"] is not None:
@@ -104,8 +104,7 @@ def _run_scenario(payload: dict, cell_cache_dir: str | None) -> dict:
         policy=payload["policy"],
         epochs=payload["epochs"],
     )
-    out = sres.to_dict()
-    out["fairness_under_churn"] = churn_fairness(sres.result, window=payload["window"])
+    out = scenario_summary_json(sres, window=payload["window"])
     out["kind"] = "scenario"
     return out
 

@@ -1,0 +1,34 @@
+"""Replay every promoted crasher: fixed bugs must stay fixed.
+
+Any ``crasher_*.json`` under ``tests/golden/fuzz_regressions/`` was a
+minimized fuzz finding whose underlying bug has since been fixed; each
+must now run clean under the full invariant oracle.  A failure here
+means a regression resurrected a bug the fuzzer already caught once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.promote import iter_crashers, load_crasher
+from repro.fuzz.runner import case_finding
+
+REGRESSION_DIR = Path(__file__).resolve().parents[1] / "golden" / "fuzz_regressions"
+
+CRASHERS = iter_crashers(REGRESSION_DIR)
+
+
+def test_regression_dir_exists():
+    assert REGRESSION_DIR.is_dir(), "promoted-crasher directory is part of the repo"
+
+
+@pytest.mark.parametrize("path", CRASHERS, ids=lambda p: p.name)
+def test_promoted_crasher_replays_green(path):
+    case, violation = load_crasher(path)
+    finding = case_finding(case)
+    assert finding is None, (
+        f"{path.name} (originally caught [{violation['check']}]) fails again: "
+        f"[{finding['check']}] {finding['message']}"
+    )

@@ -161,3 +161,82 @@ class TestOverrides:
 
     def test_epoch_override_extension_allowed(self):
         assert get_scenario("churn").with_overrides(n_epochs=60).n_epochs == 60
+
+
+class TestTypedValidation:
+    """Inputs that used to slip through as silent no-ops or untyped
+    TypeErrors must now raise ScenarioSpecError (the fuzzer's contract:
+    anything validate() accepts, the engine actually executes)."""
+
+    def test_float_epoch_rejected(self):
+        # pre-fix: accepted, but the engine's int-keyed dispatch dict
+        # meant the event silently never fired
+        ev = ScenarioEvent(epoch=3.5, action="depart", target="mc")
+        with pytest.raises(ScenarioSpecError, match="epoch must be an integer"):
+            spec(events=[ev]).validate()
+
+    def test_bool_epoch_rejected(self):
+        ev = ScenarioEvent(epoch=True, action="depart", target="mc")
+        with pytest.raises(ScenarioSpecError, match="epoch must be an integer"):
+            spec(events=[ev]).validate()
+
+    def test_str_epoch_rejected_with_typed_error(self):
+        # pre-fix: raised a bare TypeError from the range comparison
+        ev = ScenarioEvent(epoch="3", action="depart", target="mc")
+        with pytest.raises(ScenarioSpecError, match="epoch must be an integer"):
+            spec(events=[ev]).validate()
+
+    @pytest.mark.parametrize("field", ["rss_pages", "n_threads", "start_epoch", "accesses_per_thread"])
+    def test_non_integer_workload_fields_rejected(self, field):
+        with pytest.raises(ScenarioSpecError, match=f"{field} must be an integer"):
+            spec(workloads=[wd(**{field: 2.5})]).validate()
+
+    def test_non_numeric_fault_probability_rejected(self):
+        # pre-fix: float("high") raised an untyped ValueError
+        ev = ScenarioEvent(epoch=1, action="faults_set", params={"lost_async": "high"})
+        with pytest.raises(ScenarioSpecError, match="must be a number"):
+            spec(events=[ev]).validate()
+
+    def test_bool_fault_probability_rejected(self):
+        ev = ScenarioEvent(epoch=1, action="faults_set", params={"lost_async": True})
+        with pytest.raises(ScenarioSpecError, match="must be a number"):
+            spec(events=[ev]).validate()
+
+    def test_non_numeric_link_factors_rejected(self):
+        for params in ({"bandwidth_factor": "slow"}, {"latency_factor": "big"}):
+            ev = ScenarioEvent(epoch=1, action="link_degrade", params=params)
+            with pytest.raises(ScenarioSpecError, match="must be a number"):
+                spec(events=[ev]).validate()
+
+    def test_duplicate_depart_rejected(self):
+        evs = [ScenarioEvent(epoch=2, action="depart", target="mc"),
+               ScenarioEvent(epoch=4, action="depart", target="mc")]
+        with pytest.raises(ScenarioSpecError, match="already departed"):
+            spec(events=evs).validate()
+
+    def test_duplicate_restart_rejected(self):
+        evs = [ScenarioEvent(epoch=2, action="depart", target="mc"),
+               ScenarioEvent(epoch=4, action="restart", target="mc"),
+               ScenarioEvent(epoch=6, action="restart", target="mc")]
+        with pytest.raises(ScenarioSpecError, match="restart needs a prior depart"):
+            spec(events=evs).validate()
+
+
+class TestHorizonGuard:
+    def test_check_horizon_names_last_scripted_epoch(self):
+        s = spec(events=[ScenarioEvent(epoch=8, action="depart", target="mc")])
+        assert s.last_scripted_epoch() == 8
+        with pytest.raises(ScenarioSpecError, match="epoch 8"):
+            s.check_horizon(5)
+        s.check_horizon(9)  # one past the last event is fine
+
+    def test_engine_run_override_cannot_drop_events(self):
+        # pre-fix: ScenarioExperiment.run(4) on a spec with a depart @8
+        # silently never dispatched the event
+        from repro.scenario.engine import ScenarioExperiment
+
+        s = spec(n_epochs=12,
+                 events=[ScenarioEvent(epoch=8, action="depart", target="mc")])
+        exp = ScenarioExperiment(s)
+        with pytest.raises(ScenarioSpecError, match="cut off scripted activity"):
+            exp.run(4)
