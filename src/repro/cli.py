@@ -218,9 +218,47 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.bench import check_regression, run_bench
+def _print_profile(profiler, top: int = 20) -> None:
+    """Top-``top`` functions of the epoch loop by cumulative time."""
+    import pstats
 
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative")
+    print(f"--- profile: top {top} by cumulative time ---", file=sys.stderr)
+    stats.print_stats(top)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import check_regression, run_bench, run_hugeheap_bench
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    if args.hugeheap:
+        bench = run_hugeheap_bench(quick=args.quick)
+        if profiler is not None:
+            profiler.disable()
+            _print_profile(profiler)
+        payload = bench.to_dict()
+        out = Path("BENCH_hugeheap.json" if args.output == _BENCH_DEFAULT_OUTPUT else args.output)
+        huge = payload["simulated"]["hugeheap"]
+        print(
+            f"{bench.epochs} epochs in {bench.wall_seconds:.2f}s "
+            f"({bench.epochs_per_sec:.2f} epochs/sec, peak RSS {bench.peak_rss_kb} kB, "
+            f"{huge['machine_frames']} machine frames, "
+            f"{huge['materialized_frames']} materialized)"
+        )
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+        if args.check:
+            err = check_regression(payload, args.check, tolerance=args.tolerance)
+            if err is not None:
+                print(f"FAIL: {err}", file=sys.stderr)
+                return 1
+        return 0
     if args.service:
         from repro.service.loadgen import run_service_bench
 
@@ -245,6 +283,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{bench.epochs} epochs in {bench.wall_seconds:.2f}s "
             f"({bench.epochs_per_sec:.2f} epochs/sec, peak RSS {bench.peak_rss_kb} kB)"
         )
+    if profiler is not None:
+        profiler.disable()
+        _print_profile(profiler)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
     if args.check:
@@ -803,6 +844,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CI smoke variant: fewer epochs, fewer accesses per thread")
     bench.add_argument("--scenario", metavar="NAME", default=None,
                        help="time a canned dynamic scenario instead of the static mix")
+    bench.add_argument("--hugeheap", action="store_true",
+                       help="million-frame variant: the Table 2 mix at ~150 kB page "
+                            "granularity (writes BENCH_hugeheap.json by default)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top 20 functions "
+                            "by cumulative time to stderr")
     bench.add_argument("--service", action="store_true",
                        help="load-test the job service instead of the simulator "
                             "(boots a private server, mixed concurrent workload)")

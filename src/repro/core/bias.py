@@ -17,10 +17,11 @@ prioritized for promotion".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
-from repro.core.classify import PageClass, classify_page
+from repro.core.classify import PageClass
 from repro.core.queues import PromotionQueues
 from repro.mm.frame_alloc import FrameAllocator
 from repro.mm.pte import PTE_SHARED_TID
@@ -29,8 +30,7 @@ from repro.mm.shadow import ShadowTracker
 from repro.profiling.base import Profiler
 
 
-@dataclass(frozen=True)
-class PlannedMigration:
+class PlannedMigration(NamedTuple):
     """One selected page move."""
 
     pid: int
@@ -115,37 +115,50 @@ class BiasedMigrationPolicy:
         if not slow.any():
             return 0
         wfs = profiler.write_fraction_many(pid, vpns)
-        private = owners != PTE_SHARED_TID
-        enqueued = 0
-        for i in np.flatnonzero(slow).tolist():
-            cls = classify_page(
-                private=bool(private[i]),
-                write_fraction=float(wfs[i]),
-                threshold=self.write_intensive_threshold,
-            )
-            queues.enqueue(pid, int(vpns[i]), float(heats[i]), cls)
-            enqueued += 1
-        return enqueued
+        sel = np.flatnonzero(slow)
+        # Vectorized classify_page: write_fraction_many guarantees
+        # [0, 1] so the scalar range check is redundant, and the
+        # elementwise >= is the same compare it made per page.  The
+        # enqueues stay sequential — the queues' running class means
+        # (MLFQ escalation) are order-dependent.
+        vpn_l = vpns[sel].tolist()
+        heat_l = heats[sel].tolist()
+        priv_l = (owners[sel] != PTE_SHARED_TID).tolist()
+        wi_l = (wfs[sel] >= self.write_intensive_threshold).tolist()
+        enqueue = queues.enqueue
+        for vpn, heat, p, wi in zip(vpn_l, heat_l, priv_l, wi_l):
+            if p:
+                cls = PageClass.PRIVATE_WRITE if wi else PageClass.PRIVATE_READ
+            else:
+                cls = PageClass.SHARED_WRITE if wi else PageClass.SHARED_READ
+            enqueue(pid, vpn, heat, cls)
+        return len(vpn_l)
 
     def select_promotions(self, pid: int, budget: int, profiler: Profiler) -> list[PlannedMigration]:
         """Serve up to ``budget`` promotions from the priority queues."""
         if budget <= 0:
             return []
         queues = self.queues_for(pid)
-        out: list[PlannedMigration] = []
-        for qp in queues.pop(budget):
-            out.append(
-                PlannedMigration(
-                    pid=pid,
-                    vpn=qp.vpn,
-                    dest_tier=0,
-                    sync=not qp.effective_class.use_async_copy,
-                    heat=qp.heat,
-                    page_class=qp.effective_class,
-                    write_fraction=profiler.write_fraction(pid, qp.vpn),
-                )
+        served = queues.pop(budget)
+        if not served:
+            return []
+        # One gather for all write fractions; write_fraction_many is
+        # elementwise-identical to the scalar write_fraction.
+        wfs = profiler.write_fraction_many(
+            pid, np.fromiter((qp.vpn for qp in served), dtype=np.int64, count=len(served))
+        ).tolist()
+        return [
+            PlannedMigration(
+                pid=pid,
+                vpn=qp.vpn,
+                dest_tier=0,
+                sync=not qp.effective_class.use_async_copy,
+                heat=qp.heat,
+                page_class=qp.effective_class,
+                write_fraction=wf,
             )
-        return out
+            for qp, wf in zip(served, wfs)
+        ]
 
     # -- demotion ------------------------------------------------------------
 

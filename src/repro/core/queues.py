@@ -15,15 +15,14 @@ is skipped on pop) — the standard priority-queue-with-updates idiom.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.core.classify import PageClass
 from repro.obs.events import EventKind
 from repro.obs.trace import get_tracer
 
 
-@dataclass(frozen=True)
-class QueuedPage:
+class QueuedPage(NamedTuple):
     """A promotion candidate with its scheduling state."""
 
     pid: int
@@ -34,10 +33,16 @@ class QueuedPage:
     effective_class: PageClass
 
 
-@dataclass
-class _Entry:
-    heat: float
-    stale: bool = False
+#: next-higher Table 1 class (MLFQ climb order), ``None`` at the top
+_NEXT_CLASS: dict[PageClass, PageClass | None] = {
+    PageClass.SHARED_WRITE: PageClass.PRIVATE_WRITE,
+    PageClass.PRIVATE_WRITE: PageClass.SHARED_READ,
+    PageClass.SHARED_READ: PageClass.PRIVATE_READ,
+    PageClass.PRIVATE_READ: None,
+}
+
+#: pop() service order: highest class first
+_CLASSES_DESC = tuple(sorted(PageClass, reverse=True))
 
 
 class PromotionQueues:
@@ -49,8 +54,10 @@ class PromotionQueues:
         self.boost_factor = boost_factor
         #: effective class -> heap of (-heat, pid, vpn)
         self._heaps: dict[PageClass, list[tuple[float, int, int]]] = {c: [] for c in PageClass}
-        #: (pid, vpn) -> live entry bookkeeping
-        self._live: dict[tuple[int, int], tuple[PageClass, _Entry]] = {}
+        #: (pid, vpn) -> (effective class, heat) of the live entry; a
+        #: heap tuple that doesn't match this (or finds no entry) is a
+        #: lazily-invalidated leftover and is skipped on pop
+        self._live: dict[tuple[int, int], tuple[PageClass, float]] = {}
         self._heat_sum: dict[PageClass, float] = {c: 0.0 for c in PageClass}
         self._heat_count: dict[PageClass, int] = {c: 0 for c in PageClass}
         self.escalations = 0
@@ -65,14 +72,21 @@ class PromotionQueues:
     def _escalate(self, base: PageClass, heat: float) -> PageClass:
         """MLFQ: climb while heat dwarfs the population above."""
         cls = base
-        while cls != PageClass.PRIVATE_READ:
-            above = PageClass(cls + 1)
-            ref = self._mean_heat(above)
-            if ref > 0.0 and heat >= self.boost_factor * ref:
-                cls = above
-                self.escalations += 1
-            else:
+        sums = self._heat_sum
+        counts = self._heat_count
+        bf = self.boost_factor
+        while True:
+            above = _NEXT_CLASS[cls]
+            if above is None:
                 break
+            n = counts[above]
+            if n:
+                ref = sums[above] / n
+                if ref > 0.0 and heat >= bf * ref:
+                    cls = above
+                    self.escalations += 1
+                    continue
+            break
         return cls
 
     def enqueue(self, pid: int, vpn: int, heat: float, page_class: PageClass) -> PageClass:
@@ -80,14 +94,15 @@ class PromotionQueues:
         if heat < 0.0:
             raise ValueError("heat must be non-negative")
         key = (pid, vpn)
+        sums = self._heat_sum
+        counts = self._heat_count
         old = self._live.get(key)
         if old is not None:
-            old_cls, entry = old
-            entry.stale = True
-            self._heat_sum[old_cls] -= entry.heat
-            self._heat_count[old_cls] -= 1
+            old_cls = old[0]
+            sums[old_cls] -= old[1]
+            counts[old_cls] -= 1
         effective = self._escalate(page_class, heat)
-        if effective != page_class:
+        if effective is not page_class:
             tracer = get_tracer()
             if tracer.enabled:
                 tracer.instant(
@@ -95,11 +110,10 @@ class PromotionQueues:
                     from_class=page_class.name, to_class=effective.name,
                 )
                 tracer.metrics.counter("queue_escalations", page_class=page_class.name).inc()
-        entry = _Entry(heat=heat)
-        self._live[key] = (effective, entry)
+        self._live[key] = (effective, heat)
         heapq.heappush(self._heaps[effective], (-heat, pid, vpn))
-        self._heat_sum[effective] += heat
-        self._heat_count[effective] += 1
+        sums[effective] += heat
+        counts[effective] += 1
         return effective
 
     def pop(self, budget: int) -> list[QueuedPage]:
@@ -108,7 +122,8 @@ class PromotionQueues:
         if budget < 0:
             raise ValueError("budget must be non-negative")
         out: list[QueuedPage] = []
-        for cls in sorted(PageClass, reverse=True):
+        tracer = get_tracer()
+        for cls in _CLASSES_DESC:
             heap = self._heaps[cls]
             while heap and len(out) < budget:
                 neg_heat, pid, vpn = heapq.heappop(heap)
@@ -116,22 +131,21 @@ class PromotionQueues:
                 live = self._live.get(key)
                 if live is None:
                     continue  # already served or dropped
-                live_cls, entry = live
-                if live_cls != cls or entry.stale or entry.heat != -neg_heat:
+                heat = live[1]
+                if live[0] is not cls or heat != -neg_heat:
                     continue  # superseded by a re-enqueue
                 del self._live[key]
-                self._heat_sum[cls] -= entry.heat
+                self._heat_sum[cls] -= heat
                 self._heat_count[cls] -= 1
                 out.append(
-                    QueuedPage(pid=pid, vpn=vpn, heat=entry.heat, page_class=cls, effective_class=cls)
+                    QueuedPage(pid=pid, vpn=vpn, heat=heat, page_class=cls, effective_class=cls)
                 )
-                tracer = get_tracer()
                 if tracer.enabled:
                     tracer.emit(
                         EventKind.QUEUE_PROMOTION,
                         "queue_promotion",
                         pid=pid,
-                        args={"vpn": vpn, "heat": entry.heat, "page_class": cls.name},
+                        args={"vpn": vpn, "heat": heat, "page_class": cls.name},
                     )
                     tracer.metrics.counter(
                         "queue_promotions", workload=pid, page_class=cls.name
@@ -145,9 +159,8 @@ class PromotionQueues:
         live = self._live.pop((pid, vpn), None)
         if live is None:
             return False
-        cls, entry = live
-        entry.stale = True
-        self._heat_sum[cls] -= entry.heat
+        cls, heat = live
+        self._heat_sum[cls] -= heat
         self._heat_count[cls] -= 1
         return True
 

@@ -25,7 +25,7 @@ import numpy as np
 from repro.harness.experiment import ColocationExperiment, ExperimentResult
 from repro.metrics.fairness import cfi
 from repro.sim.config import SimulationConfig
-from repro.workloads.mixes import paper_colocation_mix
+from repro.workloads.mixes import hugeheap_mix, paper_colocation_mix
 
 #: the pinned Fig. 9 scenario
 POLICY = "vulcan"
@@ -38,6 +38,16 @@ QUICK_EPOCHS = 12
 QUICK_ACCESSES_PER_THREAD = 2000
 #: steady-state window for the simulated metrics
 WINDOW = 10
+
+#: ``--hugeheap`` variant: the same Table 2 mix at ~150 kB per simulated
+#: page instead of 10 MB, so the three RSS values fault in >1M frames —
+#: the scale the chunked stores are sized against.  The quick cell keeps
+#: the full heap (the store size *is* the scenario) and trims epochs.
+HUGE_PAGE_UNIT_BYTES = 150_000
+HUGE_EPOCHS = 24
+HUGE_QUICK_EPOCHS = 6
+HUGE_ACCESSES_PER_THREAD = 2000
+HUGE_QUICK_ACCESSES_PER_THREAD = 1000
 
 
 @dataclass(frozen=True)
@@ -124,6 +134,54 @@ def run_bench(*, quick: bool = False, scenario: str | None = None) -> BenchResul
         epochs_per_sec=epochs / wall,
         peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         result=res,
+    )
+
+
+def run_hugeheap_bench(*, quick: bool = False) -> BenchResult:
+    """Time the Table 2 mix at million-frame scale.
+
+    Exercises exactly what the chunked stores exist for: a frame store
+    whose machine spans >1M frames and whose workloads fault in >1M of
+    them, while peak RSS stays in the hundreds of megabytes.  The
+    result file records the machine/materialized frame counts so the CI
+    gate can assert the scale along with the throughput.
+    """
+    epochs = HUGE_QUICK_EPOCHS if quick else HUGE_EPOCHS
+    apt = HUGE_QUICK_ACCESSES_PER_THREAD if quick else HUGE_ACCESSES_PER_THREAD
+    sim = SimulationConfig(epoch_seconds=2.0, page_unit_bytes=HUGE_PAGE_UNIT_BYTES)
+    exp = ColocationExperiment(
+        POLICY, hugeheap_mix(sim, seed=SEED, accesses_per_thread=apt),
+        sim=sim, seed=SEED,
+    )
+    store = exp.allocator.store
+    t0 = time.perf_counter()
+    res = exp.run(epochs)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        epochs=epochs,
+        accesses_per_thread=apt,
+        wall_seconds=wall,
+        epochs_per_sec=epochs / wall,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        result=res,
+        scenario_info={
+            "scenario": "hugeheap",
+            "policy": POLICY,
+            "mix": "hugeheap",
+            "seed": SEED,
+            "epochs": epochs,
+            "accesses_per_thread": apt,
+            "page_unit_bytes": HUGE_PAGE_UNIT_BYTES,
+        },
+        extra_simulated={
+            "hugeheap": {
+                "machine_frames": store.n_frames,
+                "materialized_frames": store.capacity,
+                "mapped_pages": sum(
+                    t.used for t in exp.allocator.tiers
+                ),
+            },
+        },
     )
 
 

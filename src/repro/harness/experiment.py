@@ -23,6 +23,8 @@ the figure benches can print exactly the series the paper plots.
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import MISSING, dataclass, field, fields
 
 import numpy as np
@@ -266,7 +268,7 @@ class ColocationExperiment:
         n_threads = wl.spec.n_threads
         if self._free_core_blocks:
             # Reuse the lowest departed block before growing the cursor.
-            base_core = self._free_core_blocks.pop(0)
+            base_core = heapq.heappop(self._free_core_blocks)
         else:
             base_core = self._core_cursor
             if base_core + self.cores_per_workload > self.machine.cpu.n_cores:
@@ -330,12 +332,11 @@ class ColocationExperiment:
         self._spaces.pop(pid)
         self.policy.unregister_workload(pid)
         pfns = self.allocator.store.owned_frames(pid)
-        self.lru.forget_pages(pfns.tolist())
+        self.lru.forget_pages(pfns)
         counts = self.allocator.free_pid(pid)
         self.allocator.check_consistency()
         base_core = self._core_base.pop(pid)
-        self._free_core_blocks.append(base_core)
-        self._free_core_blocks.sort()
+        heapq.heappush(self._free_core_blocks, base_core)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.emit(
@@ -407,21 +408,36 @@ class ColocationExperiment:
         self._reset_page_epoch_counters()
 
     def _generate_traffic(self, epoch: int) -> tuple[dict[int, tuple[int, int]], dict[int, float]]:
-        """Drive every active workload's access batches through the system."""
+        """Drive every active workload's epoch traffic through the system.
+
+        The batched kernel path (default) hands one fused
+        :class:`~repro.profiling.base.EpochPlan` per workload to
+        ``AddressSpace.record_plan`` and the policy's batched hooks;
+        ``REPRO_LEGACY_EPOCH=1`` replays the original per-batch loop.
+        Both are bit-identical (enforced by the differential e2e tests).
+        """
+        legacy = os.environ.get("REPRO_LEGACY_EPOCH") == "1"
         epoch_hits: dict[int, tuple[int, int]] = {}
         epoch_issue: dict[int, float] = {}
         for pid, wl in self._active.items():
             space = self._spaces[pid]
-            fast_total = 0
-            slow_total = 0
             epoch_issue[pid] = wl.issue_rate(epoch)
-            for batch in wl.generate(epoch):
-                f, s = space.record_batch(batch.vpns, batch.is_write, batch.tid, cycle=epoch)
-                fast_total += f
-                slow_total += s
-                self.policy.observe(batch)
-                self.policy.record_tier_sample(pid, f, s)
-            epoch_hits[pid] = (fast_total, slow_total)
+            if legacy:
+                fast_total = 0
+                slow_total = 0
+                for batch in wl.generate(epoch):
+                    f, s = space.record_batch(batch.vpns, batch.is_write, batch.tid, cycle=epoch)
+                    fast_total += f
+                    slow_total += s
+                    self.policy.observe(batch)
+                    self.policy.record_tier_sample(pid, f, s)
+                epoch_hits[pid] = (fast_total, slow_total)
+            else:
+                plan = wl.plan_epoch(epoch)
+                fast_seg, slow_seg = space.record_plan(plan, cycle=epoch)
+                self.policy.observe_plan(plan)
+                self.policy.record_tier_samples(pid, fast_seg, slow_seg)
+                epoch_hits[pid] = (int(fast_seg.sum()), int(slow_seg.sum()))
         return epoch_hits, epoch_issue
 
     def _apply_epoch_events(self, epoch: int) -> None:

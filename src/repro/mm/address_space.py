@@ -195,3 +195,72 @@ class AddressSpace:
         fast = int(total_per[in_fast].sum())
         slow = int(total_per.sum()) - fast
         return (fast, slow)
+
+    def record_plan(self, plan, cycle: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Fused :meth:`record_batch` over a whole :class:`EpochPlan`.
+
+        One translation gather, one pair of bincounts, and one frame-
+        counter update cover the epoch; only the order-sensitive parts
+        (sharing transitions and tid-bit ORs, both per-thread) walk the
+        segments.  Returns per-segment ``(fast, slow)`` access-count
+        arrays — the same values the legacy loop returned batch by
+        batch (recovered from per-access tier membership via prefix
+        sums over the segment offsets).
+        """
+        offsets = plan.offsets
+        total_seg = np.diff(offsets)
+        if plan.n == 0:
+            return np.zeros(total_seg.size, dtype=np.int64), total_seg
+        vpns = plan.vpns
+        repl = self.process.repl
+        flat = repl.flat
+        store = self.allocator.store
+        lo = int(vpns.min())
+        hi = int(vpns.max())
+        if lo < flat.base or hi >= flat.base + flat.pfn.size:
+            idx_all = vpns - flat.base
+            oob = (idx_all < 0) | (idx_all >= flat.pfn.size)
+            bad = int(vpns[oob].min())
+            raise KeyError(f"vpn {bad} not mapped; populate() the VMA first")
+        pfn_all = flat.pfn[vpns - flat.base]
+        if pfn_all.min() < 0:
+            bad = int(vpns[pfn_all < 0].min())
+            raise KeyError(f"vpn {bad} not mapped; populate() the VMA first")
+
+        span = hi - lo + 1
+        off_all = vpns - lo
+        total_counts = np.bincount(off_all, minlength=span)
+        write_counts = np.bincount(off_all[plan.is_write], minlength=span)
+        occ = np.flatnonzero(total_counts)
+        pfn_span = np.zeros(span, dtype=np.int64)
+        pfn_span[off_all] = pfn_all
+
+        # Per-segment fast/slow splits from per-access tier membership.
+        in_fast = pfn_all < store.fast_frames
+        csum = np.zeros(plan.n + 1, dtype=np.int64)
+        np.cumsum(in_fast, out=csum[1:])
+        fast_seg = csum[offsets[1:]] - csum[offsets[:-1]]
+
+        # Sharing transitions + tid bitmasks must run per thread, in
+        # segment order (a transition by tid 0 changes what tid 1 sees).
+        scratch = np.zeros(span, dtype=bool)
+        minor = 0
+        for k in range(total_seg.size):
+            s, e = int(offsets[k]), int(offsets[k + 1])
+            if s == e:
+                continue
+            scratch[off_all[s:e]] = True
+            uoff = np.flatnonzero(scratch)
+            scratch[uoff] = False
+            tid = int(plan.tids[k])
+            minor += repl.bulk_note_access(uoff + lo, tid)
+            store.or_tid_bit(pfn_span[uoff], tid)
+        self.minor_faults += minor
+
+        store.record_epoch_rows(
+            pfn_span[occ],
+            total_counts[occ] - write_counts[occ],
+            write_counts[occ],
+            cycle,
+        )
+        return fast_seg, total_seg - fast_seg

@@ -32,6 +32,81 @@ class OutOfFramesError(RuntimeError):
     """A tier has no free frames and the caller did not allow fallback."""
 
 
+class FreeFrameList:
+    """One tier's free PFNs without materializing a million-int deque.
+
+    Represents exactly the dense ``deque(range(base, base + total))``
+    the allocator used to build: a *virgin* range of never-allocated
+    frames ``[virgin_next, virgin_end)`` plus recycled frames in FIFO
+    order.  Because frames are only ever appended after the virgin
+    range existed at construction, the dense deque would always hold
+    ``[virgin..., recycled...]`` — so popping virgin-ascending first,
+    then recycled FIFO, reproduces its pop order bit-for-bit while
+    keeping construction O(1) and memory proportional to *recycled*
+    frames only.
+    """
+
+    __slots__ = ("_virgin_next", "_virgin_end", "_recycled")
+
+    def __init__(self, base: int, total: int) -> None:
+        self._virgin_next = base
+        self._virgin_end = base + total
+        self._recycled: deque[int] = deque()
+
+    def __len__(self) -> int:
+        return (self._virgin_end - self._virgin_next) + len(self._recycled)
+
+    def __bool__(self) -> bool:
+        return self._virgin_next < self._virgin_end or bool(self._recycled)
+
+    def __iter__(self):
+        yield from range(self._virgin_next, self._virgin_end)
+        yield from self._recycled
+
+    def __contains__(self, pfn: int) -> bool:
+        return self._virgin_next <= pfn < self._virgin_end or pfn in self._recycled
+
+    def __getitem__(self, idx: int) -> int:
+        """Index into the virtual dense sequence [virgin..., recycled...]."""
+        n_virgin = self._virgin_end - self._virgin_next
+        n = n_virgin + len(self._recycled)
+        if idx < 0:
+            idx += n
+        if not 0 <= idx < n:
+            raise IndexError("free list index out of range")
+        if idx < n_virgin:
+            return self._virgin_next + idx
+        return self._recycled[idx - n_virgin]
+
+    def popleft(self) -> int:
+        if self._virgin_next < self._virgin_end:
+            pfn = self._virgin_next
+            self._virgin_next += 1
+            return pfn
+        return self._recycled.popleft()
+
+    def pop(self) -> int:
+        """Pop from the tail (the dense deque's highest-priority-last end)."""
+        if self._recycled:
+            return self._recycled.pop()
+        if self._virgin_next < self._virgin_end:
+            self._virgin_end -= 1
+            return self._virgin_end
+        raise IndexError("pop from an empty free list")
+
+    def append(self, pfn: int) -> None:
+        self._recycled.append(pfn)
+
+    @property
+    def virgin_range(self) -> tuple[int, int]:
+        """The never-allocated span (for O(1) consistency checks)."""
+        return (self._virgin_next, self._virgin_end)
+
+    def recycled_array(self) -> np.ndarray:
+        """Recycled frames as an int64 array (consistency checks)."""
+        return np.fromiter(self._recycled, dtype=np.int64, count=len(self._recycled))
+
+
 @dataclass
 class TierFrames:
     """Allocation bookkeeping for one tier."""
@@ -49,7 +124,7 @@ class TierFrames:
             raise ValueError("tier needs at least one frame")
         if not 0 <= self.low_watermark_frac <= self.high_watermark_frac <= 1:
             raise ValueError("need 0 <= low <= high <= 1 watermark fractions")
-        self.free_list: deque[int] = deque(range(self.base_pfn, self.base_pfn + self.total))
+        self.free_list = FreeFrameList(self.base_pfn, self.total)
 
     @property
     def free(self) -> int:
@@ -90,6 +165,8 @@ class FrameAllocator:
         slow_frames: int,
         low_watermark_frac: float = 0.02,
         high_watermark_frac: float = 0.05,
+        *,
+        chunk_frames: int | None = None,
     ) -> None:
         self.tiers = [
             TierFrames(0, base_pfn=0, total=fast_frames,
@@ -101,9 +178,12 @@ class FrameAllocator:
         ]
         self._fast_frames = fast_frames
         #: authoritative per-frame state (PhysPage objects are views)
-        self.store = PageStatsStore(fast_frames + slow_frames, fast_frames)
+        store_kwargs = {} if chunk_frames is None else {"chunk_frames": chunk_frames}
+        self.store = PageStatsStore(fast_frames + slow_frames, fast_frames, **store_kwargs)
+        # Every frame starts on a free list: flag the materialized
+        # prefix and make growth segments inherit the same default.
+        self.store.free_fill = True
         self.store.in_free_list[:] = True
-        self._pages: dict[int, PhysPage] = {}
         #: frames taken out of service by capacity events (still FREE,
         #: but neither allocatable nor on any free list)
         self._offline: set[int] = set()
@@ -114,16 +194,32 @@ class FrameAllocator:
             raise ValueError(f"pfn {pfn} outside physical memory")
         return 0 if pfn < self._fast_frames else 1
 
+    def ever_allocated(self, pfn: int) -> bool:
+        """Has this frame been handed out by the allocator at least once?
+
+        O(1) range arithmetic against the tier's virgin span — no
+        per-frame bookkeeping.  Administratively-offlined frames report
+        ``False``: they must come back through ``online_frames`` before
+        they can be treated as allocatable again.
+        """
+        tier = self.tiers[self.tier_of_pfn(pfn)]
+        v_lo, v_hi = tier.free_list.virgin_range
+        if v_lo <= pfn < v_hi:
+            return False
+        return pfn not in self._offline
+
     def page(self, pfn: int) -> PhysPage:
-        """Frame metadata (created lazily on first allocation)."""
-        return self._pages[pfn]
+        """Frame metadata view (frames are store rows; views are cheap
+        and stateless, so one is built per call rather than cached)."""
+        if not self.ever_allocated(pfn):
+            raise KeyError(pfn)
+        return PhysPage(pfn=pfn, store=self.store)
 
-    def allocate(self, tier_id: int, *, fallback: bool = False) -> PhysPage:
-        """Take a free frame from ``tier_id``.
+    def allocate_pfn(self, tier_id: int, *, fallback: bool = False) -> int:
+        """:meth:`allocate` without materializing the PhysPage view.
 
-        With ``fallback=True`` an empty fast tier falls through to the
-        slow tier (Linux's allocation fallback order), mirroring how new
-        allocations land in slow memory once DRAM fills.
+        Same pop order, same fallback rule, same store writes — returns
+        the bare PFN for callers that work through the store directly.
         """
         tier = self.tiers[tier_id]
         if not tier.free_list:
@@ -132,26 +228,33 @@ class FrameAllocator:
             else:
                 raise OutOfFramesError(f"tier {tier_id} has no free frames")
         pfn = tier.free_list.popleft()
-        self.store.in_free_list[pfn] = False
-        page = self._pages.get(pfn)
-        if page is None:
-            page = PhysPage(pfn=pfn, store=self.store)
-            self._pages[pfn] = page
-        page.tier_id = tier.tier_id
-        page.state = PageState.FREE  # caller attaches
-        return page
+        store = self.store
+        if pfn >= store.capacity:
+            store.ensure(pfn + 1)
+        store.in_free_list[pfn] = False
+        store.tier_id[pfn] = tier.tier_id
+        store.state[pfn] = STATE_FREE  # caller attaches
+        return pfn
+
+    def allocate(self, tier_id: int, *, fallback: bool = False) -> PhysPage:
+        """Take a free frame from ``tier_id``.
+
+        With ``fallback=True`` an empty fast tier falls through to the
+        slow tier (Linux's allocation fallback order), mirroring how new
+        allocations land in slow memory once DRAM fills.
+        """
+        return PhysPage(pfn=self.allocate_pfn(tier_id, fallback=fallback), store=self.store)
 
     def free(self, pfn: int) -> None:
         """Return a frame to its tier's free list."""
-        page = self._pages.get(pfn)
-        if page is None:
+        if not self.ever_allocated(pfn):
             raise ValueError(f"pfn {pfn} was never allocated")
-        tier = self.tiers[self.tier_of_pfn(pfn)]
-        if self.store.in_free_list[pfn]:
+        store = self.store
+        if store.in_free_list[pfn]:
             raise ValueError(f"double free of pfn {pfn}")
-        page.detach()
-        tier.free_list.append(pfn)
-        self.store.in_free_list[pfn] = True
+        store.detach_row(pfn)
+        self.tiers[0 if pfn < self._fast_frames else 1].free_list.append(pfn)
+        store.in_free_list[pfn] = True
 
     def free_pid(self, pid: int) -> dict[str, int]:
         """Bulk-release every frame owned by ``pid`` (process teardown).
@@ -199,6 +302,8 @@ class FrameAllocator:
         take = min(n, tier.free)
         taken = [tier.free_list.pop() for _ in range(take)]
         for pfn in taken:
+            if pfn >= self.store.capacity:
+                self.store.ensure(pfn + 1)
             self.store.in_free_list[pfn] = False
             self._offline.add(pfn)
         tier.offline += take
@@ -224,24 +329,68 @@ class FrameAllocator:
         whose ``in_free_list`` bit is set; every FREE-state frame is
         either on a free list or offline; no live frame is on a free
         list.  Raises ``RuntimeError`` on the first violation.
+
+        Memory-budgeted for million-frame stores: the virgin span of a
+        free list is validated by range arithmetic against the bitmap
+        (an ``.all()`` over the materialized prefix — frames beyond the
+        store's capacity are virgin by construction), recycled frames
+        through one bounded int64 array, and no Python sets of PFNs are
+        ever built.
         """
         st = self.store
+        cap = st.capacity
         for tier in self.tiers:
-            span = slice(tier.base_pfn, tier.base_pfn + tier.total)
-            bitmap = set((np.flatnonzero(st.in_free_list[span]) + tier.base_pfn).tolist())
-            listed = set(tier.free_list)
-            if listed != bitmap:
+            lo, hi = tier.base_pfn, tier.base_pfn + tier.total
+            v_lo, v_hi = tier.free_list.virgin_range
+            recycled = tier.free_list.recycled_array()
+            # Frames below the virgin span were allocated at least once;
+            # a frame is flagged free there iff it is recycled/offline.
+            flags = st.in_free_list[lo:min(hi, cap)]
+            # virgin frames must all be flagged (materialized ones
+            # explicitly; beyond-capacity ones by the free_fill default)
+            v_mat_hi = min(v_hi, cap)
+            if v_lo < v_mat_hi and not bool(st.in_free_list[v_lo:v_mat_hi].all()):
+                raise RuntimeError(
+                    f"tier {tier.tier_id}: virgin frame missing its free-list bit"
+                )
+            if v_hi > cap and not st.free_fill:
+                raise RuntimeError(
+                    f"tier {tier.tier_id}: unmaterialized virgin frames not "
+                    "covered by the free_fill default"
+                )
+            if recycled.size:
+                if int(recycled.min()) < lo or int(recycled.max()) >= hi:
+                    raise RuntimeError(f"tier {tier.tier_id} free list holds out-of-tier pfns")
+                if int(recycled.max()) >= cap:
+                    raise RuntimeError(f"tier {tier.tier_id} recycled an unmaterialized pfn")
+                uniq = np.unique(recycled)
+                if uniq.size != recycled.size:
+                    raise RuntimeError(f"tier {tier.tier_id} free list has duplicates")
+                if ((uniq >= v_lo) & (uniq < v_hi)).any():
+                    raise RuntimeError(
+                        f"tier {tier.tier_id} free list has duplicates "
+                        "(virgin pfn also recycled)"
+                    )
+                if not bool(st.in_free_list[uniq].all()):
+                    raise RuntimeError(
+                        f"tier {tier.tier_id} free list and bitmap disagree: "
+                        "recycled frame without its bit"
+                    )
+            # Total flagged frames in the tier span must equal the free
+            # list's length (bits outside the list would slip past the
+            # per-group checks above).
+            n_virgin_flagged = max(v_mat_hi - v_lo, 0) + max(v_hi - max(v_lo, cap), 0)
+            n_span_flagged = int(flags.sum()) + (max(hi - max(lo, cap), 0) if st.free_fill else 0)
+            if n_span_flagged != recycled.size + n_virgin_flagged:
                 raise RuntimeError(
                     f"tier {tier.tier_id} free list and bitmap disagree: "
-                    f"{len(listed)} listed vs {len(bitmap)} flagged"
+                    f"{len(tier.free_list)} listed vs {n_span_flagged} flagged"
                 )
-            if len(tier.free_list) != len(listed):
-                raise RuntimeError(f"tier {tier.tier_id} free list has duplicates")
             if tier.offline != sum(1 for p in self._offline if self.tier_of_pfn(p) == tier.tier_id):
                 raise RuntimeError(f"tier {tier.tier_id} offline count out of sync")
-        free_state = st.state == STATE_FREE
-        flagged = st.in_free_list
-        offline = np.zeros(st.n_frames, dtype=bool)
+        free_state = st.state[:cap] == STATE_FREE
+        flagged = st.in_free_list[:cap]
+        offline = np.zeros(cap, dtype=bool)
         if self._offline:
             offline[sorted(self._offline)] = True
         if bool((flagged & ~free_state).any()):
@@ -265,4 +414,4 @@ class FrameAllocator:
         if tier_id is not None:
             live &= self.store.tier_id == tier_id
         for pfn in np.flatnonzero(live).tolist():
-            yield self._pages[pfn]
+            yield PhysPage(pfn=pfn, store=self.store)

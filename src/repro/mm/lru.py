@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 PAGEVEC_SIZE = 15  # Linux PAGEVEC_SIZE
 
 
@@ -163,20 +165,25 @@ class LruSubsystem:
         A departing process's frames may sit anywhere in the LRU
         machinery — buffered in a per-CPU pagevec, or on either tier's
         global lists — and none of those locations may keep a reference
-        once the frames return to the allocator.  Returns how many
-        entries were removed.
+        once the frames return to the allocator.  Accepts any int
+        iterable or an int ndarray directly (no boxed-int set is built
+        for large teardowns).  Returns how many entries were removed.
         """
-        pfn_set = {int(p) for p in pfns}
-        if not pfn_set:
+        sorted_pfns = np.unique(np.asarray(pfns, dtype=np.int64))
+        if sorted_pfns.size == 0:
             return 0
         removed = 0
         for vec in self.pagevecs:
             if not vec.pending:
                 continue
-            kept = [p for p in vec.pending if p not in pfn_set]
-            removed += len(vec.pending) - len(kept)
-            vec.pending = deque(kept)
-        for pfn in sorted(pfn_set):
+            pending = np.fromiter(vec.pending, dtype=np.int64, count=len(vec.pending))
+            pos = np.searchsorted(sorted_pfns, pending)
+            pos[pos == sorted_pfns.size] = 0
+            drop = sorted_pfns[pos] == pending
+            if drop.any():
+                removed += int(drop.sum())
+                vec.pending = deque(pending[~drop].tolist())
+        for pfn in sorted_pfns.tolist():
             self._pending_tier.pop(pfn, None)
             for lst in self.lists:
                 if pfn in lst:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -41,9 +42,16 @@ from repro.mm.address_space import AddressSpace
 from repro.mm.frame_alloc import FrameAllocator, OutOfFramesError
 from repro.mm.lru import LruSubsystem
 from repro.mm.migration_costs import MigrationCostModel
-from repro.mm.page import PageState
+from repro.mm.page_store import (
+    NONE_SENTINEL,
+    STATE_FREE,
+    STATE_MAPPED,
+    STATE_MIGRATING,
+    STATE_SHADOW,
+)
+from repro.mm.page_table import LEVEL_BITS
 from repro.mm.shadow import ShadowTracker
-from repro.mm.tlb_coherence import compute_scope, execute_shootdown
+from repro.mm.tlb_coherence import ShootdownScope, compute_scope, execute_shootdown
 from repro.obs.events import EventKind
 from repro.obs.trace import get_tracer
 
@@ -89,8 +97,7 @@ class FaultKind(enum.Enum):
     POISONED_SHADOW = "poisoned_shadow"
 
 
-@dataclass
-class MigrationRequest:
+class MigrationRequest(NamedTuple):
     """One page to move."""
 
     pid: int
@@ -145,6 +152,17 @@ class OptimizationFlags:
 #: Cost of the kernel trap / syscall entry for a migration call.
 TRAP_CYCLES = 600.0
 
+#: Outcomes after which the move commits (everything but FAILED).
+_OK_OUTCOMES = (MigrationOutcome.SUCCESS, MigrationOutcome.RETRIED, MigrationOutcome.FELL_BACK_SYNC)
+
+#: Precomputed phase-key strings (enum ``.value`` lookups were hot).
+_PREP_KEY = MigrationPhase.PREP.value
+_TRAP_KEY = MigrationPhase.TRAP.value
+_UNMAP_KEY = MigrationPhase.UNMAP.value
+_SHOOTDOWN_KEY = MigrationPhase.SHOOTDOWN.value
+_COPY_KEY = MigrationPhase.COPY.value
+_REMAP_KEY = MigrationPhase.REMAP.value
+
 
 class MigrationEngine:
     """Executes migrations for one process against shared hardware."""
@@ -173,6 +191,29 @@ class MigrationEngine:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = MigrationStats()
         self._tracer = get_tracer()
+        self._store = allocator.store
+        # Per-page cost constants.  Recomputing the batch formulas for
+        # one page every call produced the same floats (the models are
+        # pure), so hoisting them preserves bit-identical accounting.
+        self._fixed1 = self.costs.batch_fixed_cycles(1)
+        self._unmap1 = self._fixed1 * 0.55
+        self._remap1 = self._fixed1 * 0.45
+        self._copy1 = self.costs.batch_copy_cycles(1)
+        self._half_copy1 = self._copy1 * 0.5
+        self._prep_cost = (
+            self.costs.prep_opt_cycles(self.flags.prep_scope_cpus)
+            if self.flags.opt_prep
+            else self.costs.prep_cycles(machine.cpu.n_cores)
+        )
+        self._tlb1_cache: dict[int, float] = {}
+        # Shootdown-scope caches.  Private scope depends only on the
+        # (fixed) thread→core pinning; shared scope on a leaf's linked
+        # tids, which only ever grows, so a (len, cores) pair detects
+        # staleness; process-wide scope likewise keys on thread count.
+        # None of these are used when the live schedule must be read.
+        self._core_of_private: dict[int, tuple[int, ...]] = {}
+        self._shared_scope_cache: dict[int, tuple[int, tuple[int, ...]]] = {}
+        self._pw_scope_cache: tuple[int, tuple[int, ...]] | None = None
         #: scenario-attached fault source; any object with
         #: ``roll(kind: FaultKind, pid: int, vpn: int) -> bool``.  None
         #: (the default) means the fault paths are completely inert —
@@ -183,24 +224,29 @@ class MigrationEngine:
     # -- phase helpers -------------------------------------------------------
 
     def _charge(self, phase: MigrationPhase, cycles: float) -> None:
+        self._charge_key(phase.value, cycles)
+
+    def _charge_key(self, key: str, cycles: float) -> None:
         """Charge a phase cost and, when tracing, emit it as an event.
 
         The tracer's cycle clock advances by the charge so phase events
         and spans nest on the deterministic simulated timeline.
         """
-        self.stats.charge(phase, cycles)
+        st = self.stats
+        st.phase_cycles[key] += cycles
+        st.total_cycles += cycles
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(
                 EventKind.MIGRATION_PHASE,
-                phase.value,
+                key,
                 pid=self.space.process.pid,
                 dur=cycles,
-                args={"phase": phase.value, "cycles": cycles},
+                args={"phase": key, "cycles": cycles},
             )
             tracer.advance(cycles)
             tracer.metrics.counter(
-                "migration_phase_cycles", workload=self.space.process.pid, phase=phase.value
+                "migration_phase_cycles", workload=self.space.process.pid, phase=key
             ).inc(cycles)
 
     def _prepare(self, n_pages: int) -> float:
@@ -208,9 +254,9 @@ class MigrationEngine:
         if self.flags.opt_prep:
             scope = list(range(min(self.flags.prep_scope_cpus, self.machine.cpu.n_cores)))
             self.lru.drain(scope)
-            return self.costs.prep_opt_cycles(self.flags.prep_scope_cpus)
-        self.lru.drain(None)
-        return self.costs.prep_cycles(self.machine.cpu.n_cores)
+        else:
+            self.lru.drain(None)
+        return self._prep_cost
 
     def _shootdown(self, vpn: int) -> tuple[float, int]:
         """Phase ③: resolve scope, deliver IPIs, invalidate TLBs.
@@ -218,29 +264,91 @@ class MigrationEngine:
         Returns ``(model_cycles, n_target_cpus)``.  The structural IPI
         cost is folded into the model cost (the model is calibrated to
         end-to-end measurements that already include it).
+
+        With tracing off, the scope is resolved through the cached fast
+        paths and the structural effects (IPI stats, TLB entry pops) are
+        applied directly — identical state to the event-emitting path.
         """
         repl = self.space.process.repl
-        if self.flags.opt_tlb and repl.enabled:
-            scope = compute_scope(
-                repl, self.machine.cpu, vpn, thread_core_map=self.thread_core_map
-            )
-        else:
-            # Process-wide: every thread of the process is a target.
-            tids = repl.tids if repl.tids else set()
-            if self.thread_core_map is not None:
-                cores = tuple(sorted({self.thread_core_map[t] for t in tids if t in self.thread_core_map}))
+        cpu = self.machine.cpu
+        if self._tracer.enabled:
+            if self.flags.opt_tlb and repl.enabled:
+                scope = compute_scope(
+                    repl, cpu, vpn, thread_core_map=self.thread_core_map
+                )
             else:
-                cores = tuple(sorted({c.core_id for c in self.machine.cpu.cores_running(tids)}))
-            from repro.mm.tlb_coherence import ShootdownScope
+                # Process-wide: every thread of the process is a target.
+                tids = repl.tids if repl.tids else set()
+                if self.thread_core_map is not None:
+                    cores = tuple(sorted({self.thread_core_map[t] for t in tids if t in self.thread_core_map}))
+                else:
+                    cores = tuple(sorted({c.core_id for c in cpu.cores_running(tids)}))
+                scope = ShootdownScope(vpn=vpn, target_core_ids=cores, sharing_tids=tuple(sorted(tids)), process_wide=True)
+            execute_shootdown(cpu, scope)
+            n_targets = max(scope.n_targets, 1)
+        else:
+            if self.flags.opt_tlb and repl.enabled:
+                cores = self._scope_cores(repl, cpu, vpn)
+            else:
+                cores = self._process_wide_cores(repl, cpu)
+            if cores:
+                cpu.deliver_ipis(cores)
+                for core_id in cores:
+                    tlb = cpu.cores[core_id].tlb
+                    if tlb._map:
+                        tlb.invalidate(vpn)
+            n_targets = max(len(cores), 1)
+        cost = self._tlb1_cache.get(n_targets)
+        if cost is None:
+            cost = self.costs.batch_tlb_cycles(1, n_targets)
+            self._tlb1_cache[n_targets] = cost
+        return (cost, n_targets)
 
-            scope = ShootdownScope(vpn=vpn, target_core_ids=cores, sharing_tids=tuple(sorted(tids)), process_wide=True)
-        execute_shootdown(self.machine.cpu, scope)
-        n_targets = max(scope.n_targets, 1)
-        return (self.costs.batch_tlb_cycles(1, n_targets), n_targets)
+    def _scope_cores(self, repl, cpu, vpn: int) -> tuple[int, ...]:
+        """:func:`compute_scope`'s target cores, via the flat mirror."""
+        tcm = self.thread_core_map
+        if tcm is None:
+            # Live-schedule scope is mutable state — never cached.
+            tids = repl.sharing_tids(vpn)
+            return tuple(sorted({c.core_id for c in cpu.cores_running(tids)}))
+        flat = repl.flat
+        i = vpn - flat.base
+        if i < 0 or i >= flat.pfn.size or flat.pfn[i] < 0:
+            return ()
+        owner = int(flat.owner[i])
+        if owner != pte_mod.PTE_SHARED_TID:
+            cached = self._core_of_private.get(owner)
+            if cached is None:
+                cached = (tcm[owner],) if owner in tcm else ()
+                self._core_of_private[owner] = cached
+            return cached
+        base = vpn >> LEVEL_BITS
+        tids = repl._leaf_tids.get(base)
+        if not tids:
+            return ()
+        entry = self._shared_scope_cache.get(base)
+        if entry is not None and entry[0] == len(tids):
+            return entry[1]
+        cores = tuple(sorted({tcm[t] for t in tids if t in tcm}))
+        self._shared_scope_cache[base] = (len(tids), cores)
+        return cores
 
-    def _alloc_dest(self, dest_tier: int) -> "PhysPage | None":  # noqa: F821
+    def _process_wide_cores(self, repl, cpu) -> tuple[int, ...]:
+        """Every core running any thread of the process."""
+        tids = repl.thread_tables
+        tcm = self.thread_core_map
+        if tcm is None:
+            return tuple(sorted({c.core_id for c in cpu.cores_running(tids.keys())}))
+        entry = self._pw_scope_cache
+        if entry is not None and entry[0] == len(tids):
+            return entry[1]
+        cores = tuple(sorted({tcm[t] for t in tids if t in tcm}))
+        self._pw_scope_cache = (len(tids), cores)
+        return cores
+
+    def _alloc_dest(self, dest_tier: int) -> int | None:
         try:
-            return self.allocator.allocate(dest_tier, fallback=False)
+            return self.allocator.allocate_pfn(dest_tier, fallback=False)
         except OutOfFramesError:
             return None
 
@@ -253,14 +361,35 @@ class MigrationEngine:
 
     def migrate_batch(self, requests: list[MigrationRequest]) -> list[MigrationOutcome]:
         """Migrate a batch; preparation is paid once per call, as in
-        ``migrate_pages()``."""
+        ``migrate_pages()``.
+
+        Dispatches to the fused (scatter-batched) implementation when
+        its preconditions hold, else to the per-page legacy loop.  Both
+        produce bit-identical state, stats and outcomes.
+        """
         if not requests:
             return []
+        tracer = self._tracer
+        if tracer.enabled or tracer.metrics.enabled or self.fault_injector is not None:
+            return self._migrate_batch_legacy(requests)
+        # The fused path defers store writes into grouped scatters,
+        # which needs each move to act on rows no other move writes —
+        # guaranteed by unique vpns (sources are distinct pre-batch
+        # mappings, destinations distinct pops).  The one overlap —
+        # a frame freed by an earlier move and re-allocated by a later
+        # one — is handled by applying the detach scatter before the
+        # destination-row scatters.
+        if len({r.vpn for r in requests}) != len(requests):
+            return self._migrate_batch_legacy(requests)
+        return self._migrate_batch_fused(requests)
+
+    def _migrate_batch_legacy(self, requests: list[MigrationRequest]) -> list[MigrationOutcome]:
+        """Per-page reference implementation (also the tracing path)."""
         with self._tracer.span(
             "migrate_batch", pid=self.space.process.pid, pages=len(requests)
         ):
-            self._charge(MigrationPhase.TRAP, TRAP_CYCLES)
-            self._charge(MigrationPhase.PREP, self._prepare(len(requests)))
+            self._charge_key(_TRAP_KEY, TRAP_CYCLES)
+            self._charge_key(_PREP_KEY, self._prepare(len(requests)))
 
             outcomes: list[MigrationOutcome] = []
             for req in requests:
@@ -268,15 +397,320 @@ class MigrationEngine:
             self.stats.migrations += 1
         return outcomes
 
+    def _migrate_batch_fused(self, requests: list[MigrationRequest]) -> list[MigrationOutcome]:
+        """Batched :meth:`migrate_batch`: sequential bookkeeping, fused
+        frame-store writes.
+
+        Every order-sensitive effect — cost accounting (float adds in
+        the exact legacy order), RNG draws, free-list pops/appends, LRU
+        and shadow bookkeeping, radix PTE stores — runs in a sequential
+        loop exactly as the legacy path would.  The per-frame stats-store
+        and flat-mirror writes are deferred and applied as grouped numpy
+        scatters; the dispatcher guaranteed all written rows are
+        pairwise disjoint, so the scatter order cannot change the
+        result.
+        """
+        st = self.stats
+        self._charge_key(_TRAP_KEY, TRAP_CYCLES)
+        self._charge_key(_PREP_KEY, self._prepare(len(requests)))
+
+        repl = self.space.process.repl
+        flat = repl.flat
+        store = self._store
+        cpu = self.machine.cpu
+        fast_frames = store.fast_frames
+        shadow = self.shadow
+        lru_lists = self.lru.lists
+        pt_update = repl.process_table.update
+        tiers = self.allocator.tiers
+        opt_tlb = self.flags.opt_tlb and repl.enabled
+        retry_limit = self.flags.async_retry_limit
+        tlb_cache = self._tlb1_cache
+        cores_of = self._scope_cores if opt_tlb else None
+        cpu_cores = cpu.cores
+        pte_with_pfn = pte_mod.pte_with_pfn
+        pte_clear_flag = pte_mod.pte_clear_flag
+        pte_set_flag = pte_mod.pte_set_flag
+        pte_tid = pte_mod.pte_tid
+        pte_is_dirty = pte_mod.pte_is_dirty
+        PTE_DIRTY = pte_mod.PTE_DIRTY
+        PTE_SHADOW = pte_mod.PTE_SHADOW
+        rng_random = self.rng.random
+
+        # One vectorized translate for the whole batch (identical to a
+        # value_of() per request: the mirror is only mutated at apply
+        # time, and in-batch PTE rewrites never change the fields a
+        # later move's translate or shootdown scope reads).
+        n = len(requests)
+        if flat.pfn.size:
+            vpns_np = np.fromiter((r.vpn for r in requests), dtype=np.int64, count=n)
+            idx_np = vpns_np - flat.base
+            in_range = (idx_np >= 0) & (idx_np < flat.pfn.size)
+            safe_idx = np.where(in_range, idx_np, 0)
+            pfn_l = np.where(in_range, flat.pfn[safe_idx], -1).tolist()
+            val_l = flat.value[safe_idx].tolist()
+        else:
+            pfn_l = [-1] * n
+            val_l = [0] * n
+
+        # Float accumulators: locals holding the running bucket values,
+        # updated with the same sequence of binary adds the legacy
+        # per-page charges perform, written back once at the end.
+        pc = st.phase_cycles
+        unmap_acc = pc[_UNMAP_KEY]
+        sd_acc = pc[_SHOOTDOWN_KEY]
+        copy_acc = pc[_COPY_KEY]
+        remap_acc = pc[_REMAP_KEY]
+        total = st.total_cycles
+        stall = st.stall_cycles
+        u1 = self._unmap1
+        r1 = self._remap1
+        c1 = self._copy1
+
+        def _sd(vpn: int) -> float:
+            """Fast-path shootdown: scope, IPIs, TLB pops, model cost."""
+            cores = cores_of(repl, cpu, vpn) if cores_of is not None else self._process_wide_cores(repl, cpu)
+            if cores:
+                cpu.deliver_ipis(cores)
+                for core_id in cores:
+                    tlb = cpu_cores[core_id].tlb
+                    if tlb._map:
+                        tlb.invalidate(vpn)
+            n_targets = len(cores) or 1
+            cost = tlb_cache.get(n_targets)
+            if cost is None:
+                cost = self.costs.batch_tlb_cycles(1, n_targets)
+                tlb_cache[n_targets] = cost
+            return cost
+
+        # Deferred scatter groups.
+        fin_vpn: list[int] = []; fin_pid: list[int] = []
+        fin_src: list[int] = []; fin_dest: list[int] = []
+        sh_vpn: list[int] = []; sh_pid: list[int] = []
+        sh_src: list[int] = []; sh_dst: list[int] = []
+        mir_vpn: list[int] = []; mir_pfn: list[int] = []
+        mir_val: list[int] = []; mir_own: list[int] = []; mir_dirty: list[bool] = []
+        keep_src: list[int] = []  # sources retained as shadow rows
+        det_src: list[int] = []   # sources fully detached (freed)
+        txn_src: list[int] = []   # transactional sources (dirty reset)
+
+        outcomes: list[MigrationOutcome] = []
+        append_out = outcomes.append
+        SUCCESS = MigrationOutcome.SUCCESS
+        RETRIED = MigrationOutcome.RETRIED
+        FELL_BACK = MigrationOutcome.FELL_BACK_SYNC
+        FAILED = MigrationOutcome.FAILED
+
+        for req, src_pfn, value in zip(requests, pfn_l, val_l):
+            if src_pfn < 0:
+                st.failures += 1
+                append_out(FAILED)
+                continue
+            dest_tier = req.dest_tier
+            src_tier = 0 if src_pfn < fast_frames else 1
+            if src_tier == dest_tier:
+                append_out(SUCCESS)
+                continue
+
+            if (
+                shadow is not None
+                and dest_tier == 1
+                and shadow.can_remap_demote(src_pfn, dirty=pte_is_dirty(value))
+            ):
+                # Remap-only demotion onto the retained slow-tier twin.
+                shadow_pfn = shadow.shadow_of(src_pfn)
+                unmap_acc += u1; total += u1
+                tlb_cycles = _sd(req.vpn)
+                sd_acc += tlb_cycles; total += tlb_cycles
+                remap_acc += r1; total += r1
+                stall += tlb_cycles
+                nv = pte_clear_flag(pte_with_pfn(value, shadow_pfn), PTE_SHADOW)
+                pt_update(req.vpn, nv)
+                mir_vpn.append(req.vpn); mir_pfn.append(shadow_pfn)
+                mir_val.append(nv); mir_own.append(pte_tid(nv)); mir_dirty.append(pte_is_dirty(nv))
+                sh_vpn.append(req.vpn); sh_pid.append(req.pid)
+                sh_src.append(src_pfn); sh_dst.append(shadow_pfn)
+                shadow.consume(src_pfn)
+                lsrc = lru_lists[0]
+                if src_pfn in lsrc:
+                    lsrc.remove(src_pfn)
+                ldst = lru_lists[1]
+                if shadow_pfn not in ldst:
+                    ldst.insert(shadow_pfn)
+                tiers[src_tier].free_list.append(src_pfn)
+                det_src.append(src_pfn)
+                st.demotions += 1
+                st.pages_moved += 1
+                st.shadow_remaps += 1
+                append_out(SUCCESS)
+                continue
+
+            # Allocate the destination (fallback=False, as in _alloc_dest).
+            dest_list = tiers[dest_tier].free_list
+            if not dest_list:
+                st.failures += 1
+                append_out(FAILED)
+                continue
+            dest_pfn = dest_list.popleft()
+            if dest_pfn >= store.capacity:
+                store.ensure(dest_pfn + 1)
+
+            if req.sync:
+                unmap_acc += u1; total += u1
+                tlb_cycles = _sd(req.vpn)
+                sd_acc += tlb_cycles; total += tlb_cycles
+                copy_acc += c1; total += c1
+                remap_acc += r1; total += r1
+                stall += tlb_cycles + c1
+                outcome = SUCCESS
+            else:
+                txn_src.append(src_pfn)
+                lam = req.access_rate_per_kcycle * req.write_fraction / 1_000.0
+                retries = 0
+                outcome = SUCCESS
+                fell_back = False
+                if lam <= 0.0:
+                    copy_acc += c1; total += c1
+                else:
+                    p_dirty = 1.0 - float(np.exp(-lam * c1))
+                    while True:
+                        copy_acc += c1; total += c1
+                        if not (rng_random() < p_dirty):
+                            break
+                        retries += 1
+                        st.retries += 1
+                        if retries > retry_limit:
+                            st.sync_fallbacks += 1
+                            unmap_acc += u1; total += u1
+                            tlb_cycles = _sd(req.vpn)
+                            sd_acc += tlb_cycles; total += tlb_cycles
+                            copy_acc += c1; total += c1
+                            remap_acc += r1; total += r1
+                            stall += tlb_cycles + c1
+                            fell_back = True
+                            break
+                        outcome = RETRIED
+                if fell_back:
+                    outcome = FELL_BACK
+                else:
+                    unmap_acc += u1; total += u1
+                    tlb_cycles = _sd(req.vpn)
+                    sd_acc += tlb_cycles; total += tlb_cycles
+                    remap_acc += r1; total += r1
+                    stall += tlb_cycles
+
+            # Finalize (every non-FAILED full copy commits).
+            keep_shadow = shadow is not None and dest_tier == 0 and src_tier == 1
+            nv = pte_clear_flag(pte_with_pfn(value, dest_pfn), PTE_DIRTY)
+            if keep_shadow:
+                nv = pte_set_flag(nv, PTE_SHADOW)
+            pt_update(req.vpn, nv)
+            mir_vpn.append(req.vpn); mir_pfn.append(dest_pfn)
+            mir_val.append(nv); mir_own.append(pte_tid(nv)); mir_dirty.append(pte_is_dirty(nv))
+            fin_vpn.append(req.vpn); fin_pid.append(req.pid)
+            fin_src.append(src_pfn); fin_dest.append(dest_pfn)
+            lsrc = lru_lists[src_tier]
+            if src_pfn in lsrc:
+                lsrc.remove(src_pfn)
+            ldst = lru_lists[dest_tier]
+            if dest_pfn not in ldst:
+                ldst.insert(dest_pfn)
+            if keep_shadow:
+                shadow.retain(fast_pfn=dest_pfn, shadow_pfn=src_pfn)
+                keep_src.append(src_pfn)
+            else:
+                tiers[src_tier].free_list.append(src_pfn)
+                det_src.append(src_pfn)
+            st.pages_moved += 1
+            if dest_tier == 0:
+                st.promotions += 1
+            else:
+                st.demotions += 1
+            append_out(outcome)
+
+        pc[_UNMAP_KEY] = unmap_acc
+        pc[_SHOOTDOWN_KEY] = sd_acc
+        pc[_COPY_KEY] = copy_acc
+        pc[_REMAP_KEY] = remap_acc
+        st.total_cycles = total
+        st.stall_cycles = stall
+        st.migrations += 1
+
+        # -- apply deferred writes ---------------------------------------
+        # All source rows are pristine pre-batch rows (a frame freed
+        # in-batch can only be re-allocated as a destination, never read
+        # as a source), so gather every src-carried column first, apply
+        # the detach scatter, then rebuild destination rows — which
+        # resolves freed-then-reallocated frames to their final (bound)
+        # row exactly as the legacy free-then-move_row sequence does.
+        if sh_dst:
+            sdst = np.array(sh_dst, dtype=np.int64)
+            sh_heat = store.heat[np.array(sh_src, dtype=np.int64)]
+        if fin_dest:
+            fsrc = np.array(fin_src, dtype=np.int64)
+            fdst = np.array(fin_dest, dtype=np.int64)
+            g_heat = store.heat[fsrc]
+            g_reads = store.reads[fsrc]
+            g_writes = store.writes[fsrc]
+            g_er = store.epoch_reads[fsrc]
+            g_ew = store.epoch_writes[fsrc]
+            g_lo = store.tids_lo[fsrc]
+            g_hi = store.tids_hi[fsrc]
+        if det_src:
+            d = np.array(det_src, dtype=np.int64)
+            store.pid[d] = NONE_SENTINEL
+            store.vpn[d] = NONE_SENTINEL
+            store.state[d] = STATE_FREE
+            store.reads[d] = 0
+            store.writes[d] = 0
+            store.heat[d] = 0.0
+            store.epoch_reads[d] = 0
+            store.epoch_writes[d] = 0
+            store.shadow_pfn[d] = NONE_SENTINEL
+            store.dirty_since_copy[d] = False
+            store.tids_lo[d] = 0
+            store.tids_hi[d] = 0
+            store.touched[d] = False
+            store.in_free_list[d] = True
+        if sh_dst:
+            store.pid[sdst] = sh_pid
+            store.vpn[sdst] = sh_vpn
+            store.state[sdst] = STATE_MAPPED
+            store.heat[sdst] = sh_heat
+        if fin_dest:
+            store.pid[fdst] = fin_pid
+            store.vpn[fdst] = fin_vpn
+            store.state[fdst] = STATE_MAPPED
+            store.heat[fdst] = g_heat
+            store.reads[fdst] = g_reads
+            store.writes[fdst] = g_writes
+            store.epoch_reads[fdst] = g_er
+            store.epoch_writes[fdst] = g_ew
+            store.touched[fdst] = (g_er != 0) | (g_ew != 0)
+            store.tids_lo[fdst] = g_lo
+            store.tids_hi[fdst] = g_hi
+            store.tier_id[fdst] = fdst >= fast_frames
+            store.in_free_list[fdst] = False
+        if txn_src:
+            store.dirty_since_copy[np.array(txn_src, dtype=np.int64)] = False
+        if keep_src:
+            store.state[np.array(keep_src, dtype=np.int64)] = STATE_SHADOW
+        if mir_vpn:
+            midx = np.array(mir_vpn, dtype=np.int64) - flat.base
+            flat.pfn[midx] = mir_pfn
+            flat.owner[midx] = mir_own
+            flat.dirty[midx] = mir_dirty
+            flat.value[midx] = mir_val
+        return outcomes
+
     def _migrate_one(self, req: MigrationRequest) -> MigrationOutcome:
         repl = self.space.process.repl
-        value = repl.lookup(req.vpn)
+        value = repl.value_of(req.vpn)
         if value is None:
             self.stats.failures += 1
             return MigrationOutcome.FAILED
         src_pfn = pte_mod.pte_pfn(value)
-        src_page = self.allocator.page(src_pfn)
-        if src_page.tier_id == req.dest_tier:
+        if self._store.tier_id[src_pfn] == req.dest_tier:
             return MigrationOutcome.SUCCESS  # already there
 
         # Shadow fast-path on demotion: a clean page that still has its
@@ -295,37 +729,37 @@ class MigrationEngine:
             else:
                 return self._demote_via_shadow(req, value, src_pfn)
 
-        dest_page = self._alloc_dest(req.dest_tier)
-        if dest_page is None:
+        dest_pfn = self._alloc_dest(req.dest_tier)
+        if dest_pfn is None:
             self.stats.failures += 1
             return MigrationOutcome.FAILED
 
         if req.sync and self._roll_fault(FaultKind.ABORTED_SYNC, req):
-            return self._abort_sync(req, dest_page.pfn)
+            return self._abort_sync(req, dest_pfn)
         if not req.sync and self._roll_fault(FaultKind.LOST_ASYNC, req):
-            return self._lose_async(req, src_pfn, dest_page.pfn)
+            return self._lose_async(req, src_pfn, dest_pfn)
 
         if req.sync:
-            outcome = self._copy_sync(req, value, src_pfn, dest_page.pfn)
+            outcome = self._copy_sync(req, value, src_pfn, dest_pfn)
         else:
-            outcome = self._copy_transactional(req, value, src_pfn, dest_page.pfn)
+            outcome = self._copy_transactional(req, value, src_pfn, dest_pfn)
 
-        if outcome in (MigrationOutcome.SUCCESS, MigrationOutcome.RETRIED, MigrationOutcome.FELL_BACK_SYNC):
-            self._finalize_move(req, src_pfn, dest_page.pfn)
+        if outcome in _OK_OUTCOMES:
+            self._finalize_move(req, src_pfn, dest_pfn)
         else:
-            self.allocator.free(dest_page.pfn)
+            self.allocator.free(dest_pfn)
         return outcome
 
     # -- copy disciplines -------------------------------------------------------
 
     def _copy_sync(self, req: MigrationRequest, value: int, src_pfn: int, dest_pfn: int) -> MigrationOutcome:
         """Blocking copy: unmap → shootdown → copy → remap; the app stalls."""
-        self._charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        self._charge_key(_UNMAP_KEY, self._unmap1)
         tlb_cycles, _ = self._shootdown(req.vpn)
-        self._charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
-        copy_cycles = self.costs.batch_copy_cycles(1)
-        self._charge(MigrationPhase.COPY, copy_cycles)
-        self._charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self._charge_key(_SHOOTDOWN_KEY, tlb_cycles)
+        copy_cycles = self._copy1
+        self._charge_key(_COPY_KEY, copy_cycles)
+        self._charge_key(_REMAP_KEY, self._remap1)
         # Everything after unmap is a stall for threads touching the page.
         self.stats.stall_cycles += tlb_cycles + copy_cycles
         return MigrationOutcome.SUCCESS
@@ -333,17 +767,17 @@ class MigrationEngine:
     def _copy_transactional(self, req: MigrationRequest, value: int, src_pfn: int, dest_pfn: int) -> MigrationOutcome:
         """Nomad-style transactional copy: page stays mapped during copy;
         a concurrent write aborts and retries the transaction."""
-        src_page = self.allocator.page(src_pfn)
-        src_page.state = PageState.MIGRATING
-        copy_cycles = self.costs.batch_copy_cycles(1)
+        store = self._store
+        store.state[src_pfn] = STATE_MIGRATING
+        copy_cycles = self._copy1
         retries = 0
         outcome = MigrationOutcome.SUCCESS
         while True:
-            src_page.dirty_since_copy = False
-            self._charge(MigrationPhase.COPY, copy_cycles)
+            store.dirty_since_copy[src_pfn] = False
+            self._charge_key(_COPY_KEY, copy_cycles)
             # Probability the page is written during this copy window.
             dirtied = self._dirtied_during(copy_cycles, req)
-            if not dirtied and not src_page.dirty_since_copy:
+            if not dirtied and not store.dirty_since_copy[src_pfn]:
                 break
             retries += 1
             self.stats.retries += 1
@@ -351,17 +785,17 @@ class MigrationEngine:
                 # Give up: take the write-blocking sync path.
                 self.stats.sync_fallbacks += 1
                 self._copy_sync(req, value, src_pfn, dest_pfn)
-                src_page.state = PageState.MAPPED
+                store.state[src_pfn] = STATE_MAPPED
                 return MigrationOutcome.FELL_BACK_SYNC
             outcome = MigrationOutcome.RETRIED
         # Commit: brief write-protect window, scoped shootdown, remap.
-        self._charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        self._charge_key(_UNMAP_KEY, self._unmap1)
         tlb_cycles, _ = self._shootdown(req.vpn)
-        self._charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
-        self._charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self._charge_key(_SHOOTDOWN_KEY, tlb_cycles)
+        self._charge_key(_REMAP_KEY, self._remap1)
         # Only the commit window stalls the app.
         self.stats.stall_cycles += tlb_cycles
-        src_page.state = PageState.MAPPED
+        store.state[src_pfn] = STATE_MAPPED
         return outcome
 
     def _dirtied_during(self, window_cycles: float, req: MigrationRequest) -> bool:
@@ -398,7 +832,8 @@ class MigrationEngine:
                 pid=req.pid,
                 args={"kind": kind.value, "vpn": req.vpn, "dest_tier": req.dest_tier},
             )
-        tracer.metrics.counter("faults_injected", workload=req.pid, kind=kind.value).inc()
+        if tracer.metrics.enabled:
+            tracer.metrics.counter("faults_injected", workload=req.pid, kind=kind.value).inc()
         return True
 
     def _abort_sync(self, req: MigrationRequest, dest_pfn: int) -> MigrationOutcome:
@@ -409,12 +844,12 @@ class MigrationEngine:
         is restored at the source.  The source frame never changed
         state, so restoring is remap cost only; page state is intact.
         """
-        self._charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        self._charge_key(_UNMAP_KEY, self._unmap1)
         tlb_cycles, _ = self._shootdown(req.vpn)
-        self._charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
-        wasted_copy = self.costs.batch_copy_cycles(1) * 0.5
-        self._charge(MigrationPhase.COPY, wasted_copy)
-        self._charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self._charge_key(_SHOOTDOWN_KEY, tlb_cycles)
+        wasted_copy = self._half_copy1
+        self._charge_key(_COPY_KEY, wasted_copy)
+        self._charge_key(_REMAP_KEY, self._remap1)
         self.stats.stall_cycles += tlb_cycles + wasted_copy
         self.allocator.free(dest_pfn)
         self.stats.failures += 1
@@ -428,10 +863,10 @@ class MigrationEngine:
         never happened: the destination is freed and the source simply
         remains the live mapping.
         """
-        src_page = self.allocator.page(src_pfn)
-        src_page.state = PageState.MIGRATING
-        self._charge(MigrationPhase.COPY, self.costs.batch_copy_cycles(1))
-        src_page.state = PageState.MAPPED
+        store = self._store
+        store.state[src_pfn] = STATE_MIGRATING
+        self._charge_key(_COPY_KEY, self._copy1)
+        store.state[src_pfn] = STATE_MAPPED
         self.allocator.free(dest_pfn)
         self.stats.failures += 1
         return MigrationOutcome.FAILED
@@ -443,17 +878,19 @@ class MigrationEngine:
         assert self.shadow is not None
         shadow_pfn = self.shadow.shadow_of(src_pfn)
         assert shadow_pfn is not None
-        self._charge(MigrationPhase.UNMAP, self.costs.batch_fixed_cycles(1) * 0.55)
+        self._charge_key(_UNMAP_KEY, self._unmap1)
         tlb_cycles, _ = self._shootdown(req.vpn)
-        self._charge(MigrationPhase.SHOOTDOWN, tlb_cycles)
-        self._charge(MigrationPhase.REMAP, self.costs.batch_fixed_cycles(1) * 0.45)
+        self._charge_key(_SHOOTDOWN_KEY, tlb_cycles)
+        self._charge_key(_REMAP_KEY, self._remap1)
         self.stats.stall_cycles += tlb_cycles
 
         repl = self.space.process.repl
         repl.update(req.vpn, pte_mod.pte_clear_flag(pte_mod.pte_with_pfn(value, shadow_pfn), pte_mod.PTE_SHADOW))
-        shadow_page = self.allocator.page(shadow_pfn)
-        shadow_page.attach(req.pid, req.vpn)
-        shadow_page.heat = self.allocator.page(src_pfn).heat
+        store = self._store
+        store.pid[shadow_pfn] = req.pid
+        store.vpn[shadow_pfn] = req.vpn
+        store.state[shadow_pfn] = STATE_MAPPED
+        store.heat[shadow_pfn] = store.heat[src_pfn]
         self.shadow.consume(src_pfn)
         if src_pfn in self.lru.lists[0]:
             self.lru.lists[0].remove(src_pfn)
@@ -470,15 +907,15 @@ class MigrationEngine:
     def _finalize_move(self, req: MigrationRequest, src_pfn: int, dest_pfn: int) -> None:
         """Repoint the PTE, move metadata, release or shadow the source."""
         repl = self.space.process.repl
-        value = repl.lookup(req.vpn)
+        value = repl.value_of(req.vpn)
         assert value is not None
-        src_page = self.allocator.page(src_pfn)
-        dest_page = self.allocator.page(dest_pfn)
+        store = self._store
+        src_tier = int(store.tier_id[src_pfn])
 
         keep_shadow = (
             self.shadow is not None
             and req.dest_tier == 0  # promotion
-            and src_page.tier_id == 1
+            and src_tier == 1
         )
 
         new_value = pte_mod.pte_with_pfn(value, dest_pfn)
@@ -487,24 +924,18 @@ class MigrationEngine:
             new_value = pte_mod.pte_set_flag(new_value, pte_mod.PTE_SHADOW)
         repl.update(req.vpn, new_value)
 
-        dest_page.attach(req.pid, req.vpn)
-        dest_page.heat = src_page.heat
-        dest_page.reads = src_page.reads
-        dest_page.writes = src_page.writes
-        dest_page.epoch_reads = src_page.epoch_reads
-        dest_page.epoch_writes = src_page.epoch_writes
-        dest_page.accessing_tids = set(src_page.accessing_tids)
+        store.move_row(src_pfn, dest_pfn, req.pid, req.vpn)
 
         # LRU relink.
-        if src_pfn in self.lru.lists[src_page.tier_id]:
-            self.lru.lists[src_page.tier_id].remove(src_pfn)
+        if src_pfn in self.lru.lists[src_tier]:
+            self.lru.lists[src_tier].remove(src_pfn)
         if dest_pfn not in self.lru.lists[req.dest_tier]:
             self.lru.lists[req.dest_tier].insert(dest_pfn)
 
         if keep_shadow:
             assert self.shadow is not None
             self.shadow.retain(fast_pfn=dest_pfn, shadow_pfn=src_pfn)
-            src_page.state = PageState.SHADOW
+            store.state[src_pfn] = STATE_SHADOW
         else:
             self.allocator.free(src_pfn)
 
@@ -513,8 +944,10 @@ class MigrationEngine:
             self.stats.promotions += 1
         else:
             self.stats.demotions += 1
-        self._tracer.metrics.counter(
-            "pages_moved",
-            workload=req.pid,
-            tier="fast" if req.dest_tier == 0 else "slow",
-        ).inc()
+        metrics = self._tracer.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "pages_moved",
+                workload=req.pid,
+                tier="fast" if req.dest_tier == 0 else "slow",
+            ).inc()

@@ -277,6 +277,24 @@ class PhysPage:
         """Unbind and reset per-mapping statistics."""
         self._store.detach_row(self._row)
 
+    def __eq__(self, other: object) -> bool:
+        """Views are interchangeable: equal iff they alias one store row.
+
+        The allocator builds views on demand instead of caching one per
+        frame, so two views of the same frame are distinct objects but
+        must compare (and hash) as the same page.
+        """
+        if not isinstance(other, PhysPage):
+            return NotImplemented
+        return (
+            self._store is other._store
+            and self._row == other._row
+            and self.pfn == other.pfn
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._store), self._row, self.pfn))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PhysPage(pfn={self.pfn}, tier={self.tier_id}, state={self.state.value}, "

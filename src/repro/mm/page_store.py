@@ -29,8 +29,23 @@ STATE_SHADOW = 3
 NONE_SENTINEL = -1
 
 
+#: Frames per growth segment.  Heaps at or below one chunk (every
+#: pre-existing test/bench scenario) materialize fully at construction,
+#: so chunking is invisible to them; larger heaps grow on demand.
+CHUNK_FRAMES = 1 << 16
+
+
 class PageStatsStore:
     """Parallel per-frame arrays indexed by PFN.
+
+    Columns are materialized in power-of-two growth segments
+    (:data:`CHUNK_FRAMES`-aligned) rather than one dense preallocation:
+    ``capacity`` tracks the materialized prefix ``[0, capacity)`` and
+    :meth:`ensure` doubles it on demand.  Every frame at or above
+    ``capacity`` is virgin — never allocated, implicitly FREE with all
+    counters zero and its free-list bit equal to ``free_fill`` — so
+    column scans over the materialized prefix see exactly the state a
+    dense layout would hold.
 
     Parameters
     ----------
@@ -39,35 +54,92 @@ class PageStatsStore:
     fast_frames:
         Size of the fast tier; PFNs ``[0, fast_frames)`` are tier 0 and
         the rest tier 1 (the allocator's contiguous partitioning).
+    chunk_frames:
+        Growth segment size (tests shrink it to cover boundaries).
     """
 
-    def __init__(self, n_frames: int, fast_frames: int) -> None:
+    def __init__(self, n_frames: int, fast_frames: int, *, chunk_frames: int = CHUNK_FRAMES) -> None:
         if n_frames <= 0:
             raise ValueError("store needs at least one frame")
+        if chunk_frames <= 0 or chunk_frames & (chunk_frames - 1):
+            raise ValueError("chunk_frames must be a positive power of two")
         self.n_frames = n_frames
         self.fast_frames = fast_frames
-        self.tier_id = np.where(
-            np.arange(n_frames, dtype=np.int64) < fast_frames, 0, 1
-        ).astype(np.int8)
-        self.state = np.full(n_frames, STATE_FREE, dtype=np.int8)
-        self.pid = np.full(n_frames, NONE_SENTINEL, dtype=np.int64)
-        self.vpn = np.full(n_frames, NONE_SENTINEL, dtype=np.int64)
-        self.reads = np.zeros(n_frames, dtype=np.int64)
-        self.writes = np.zeros(n_frames, dtype=np.int64)
-        self.epoch_reads = np.zeros(n_frames, dtype=np.int64)
-        self.epoch_writes = np.zeros(n_frames, dtype=np.int64)
-        self.heat = np.zeros(n_frames, dtype=np.float64)
-        self.last_access_cycle = np.zeros(n_frames, dtype=np.int64)
-        self.shadow_pfn = np.full(n_frames, NONE_SENTINEL, dtype=np.int64)
-        self.dirty_since_copy = np.zeros(n_frames, dtype=bool)
+        self.chunk_frames = chunk_frames
+        #: fill value for ``in_free_list`` rows materialized by growth
+        #: (the allocator flips this to True: its frames start free).
+        self.free_fill = False
+        self.capacity = 0
+        self._alloc_columns(0)
+        self.ensure(min(n_frames, chunk_frames))
+
+    def _alloc_columns(self, n: int) -> None:
+        self.tier_id = np.empty(n, dtype=np.int8)
+        self.state = np.empty(n, dtype=np.int8)
+        self.pid = np.empty(n, dtype=np.int64)
+        self.vpn = np.empty(n, dtype=np.int64)
+        self.reads = np.empty(n, dtype=np.int64)
+        self.writes = np.empty(n, dtype=np.int64)
+        self.epoch_reads = np.empty(n, dtype=np.int64)
+        self.epoch_writes = np.empty(n, dtype=np.int64)
+        self.heat = np.empty(n, dtype=np.float64)
+        self.last_access_cycle = np.empty(n, dtype=np.int64)
+        self.shadow_pfn = np.empty(n, dtype=np.int64)
+        self.dirty_since_copy = np.empty(n, dtype=bool)
         # accessing-tid bitmask: word 0 covers tids 0..63, word 1 covers
         # 64..127 (PTE tid space is 7 bits).
-        self.tids_lo = np.zeros(n_frames, dtype=np.uint64)
-        self.tids_hi = np.zeros(n_frames, dtype=np.uint64)
+        self.tids_lo = np.empty(n, dtype=np.uint64)
+        self.tids_hi = np.empty(n, dtype=np.uint64)
         #: frames whose epoch counters may be nonzero (touched-set reset)
-        self.touched = np.zeros(n_frames, dtype=bool)
+        self.touched = np.empty(n, dtype=bool)
         #: O(1) double-free detection (replaces deque membership scans)
-        self.in_free_list = np.zeros(n_frames, dtype=bool)
+        self.in_free_list = np.empty(n, dtype=bool)
+
+    _COLUMNS = (
+        "tier_id", "state", "pid", "vpn", "reads", "writes",
+        "epoch_reads", "epoch_writes", "heat", "last_access_cycle",
+        "shadow_pfn", "dirty_since_copy", "tids_lo", "tids_hi",
+        "touched", "in_free_list",
+    )
+
+    def ensure(self, limit: int) -> None:
+        """Materialize columns covering PFNs ``[0, limit)``.
+
+        Growth doubles the capacity (chunk-aligned) so repeated
+        single-frame extensions stay amortized O(1); new rows are
+        initialized to the virgin-frame defaults.
+        """
+        if limit <= self.capacity:
+            return
+        if limit > self.n_frames:
+            raise ValueError(f"ensure({limit}) exceeds {self.n_frames} frames")
+        chunk = self.chunk_frames
+        new_cap = max(self.capacity * 2, ((limit + chunk - 1) // chunk) * chunk)
+        new_cap = min(new_cap, self.n_frames)
+        old = {name: getattr(self, name) for name in self._COLUMNS}
+        lo = self.capacity
+        self._alloc_columns(new_cap)
+        for name, arr in old.items():
+            getattr(self, name)[:lo] = arr
+        self.tier_id[lo:] = np.where(
+            np.arange(lo, new_cap, dtype=np.int64) < self.fast_frames, 0, 1
+        ).astype(np.int8)
+        self.state[lo:] = STATE_FREE
+        self.pid[lo:] = NONE_SENTINEL
+        self.vpn[lo:] = NONE_SENTINEL
+        self.reads[lo:] = 0
+        self.writes[lo:] = 0
+        self.epoch_reads[lo:] = 0
+        self.epoch_writes[lo:] = 0
+        self.heat[lo:] = 0.0
+        self.last_access_cycle[lo:] = 0
+        self.shadow_pfn[lo:] = NONE_SENTINEL
+        self.dirty_since_copy[lo:] = False
+        self.tids_lo[lo:] = 0
+        self.tids_hi[lo:] = 0
+        self.touched[lo:] = False
+        self.in_free_list[lo:] = self.free_fill
+        self.capacity = new_cap
 
     # -- vectorized hot-path updates -------------------------------------
 
@@ -96,6 +168,39 @@ class PageStatsStore:
         self.touched[pfns] = True
         # Writes landing while a transactional copy is in flight dirty
         # the source frame (same rule as PhysPage.record_access).
+        migrating = (self.state[pfns] == STATE_MIGRATING) & (n_writes > 0)
+        if migrating.any():
+            self.dirty_since_copy[pfns[migrating]] = True
+
+    def or_tid_bit(self, pfns: np.ndarray, tid: int) -> None:
+        """OR one thread's bit into the accessing-tid masks of ``pfns``."""
+        if tid < 64:
+            self.tids_lo[pfns] |= np.uint64(1 << tid)
+        else:
+            self.tids_hi[pfns] |= np.uint64(1 << (tid - 64))
+
+    def record_epoch_rows(
+        self,
+        pfns: np.ndarray,
+        n_reads: np.ndarray,
+        n_writes: np.ndarray,
+        cycle: int,
+    ) -> None:
+        """Fused-epoch counterpart of :meth:`record_batch`.
+
+        ``pfns`` are the epoch's unique frames with counts already
+        summed across threads; the per-thread tid-bit ORs happen
+        separately (:meth:`or_tid_bit`).  Integer adds commute, states
+        are constant while traffic runs, and ``cycle`` is the same for
+        every batch of an epoch, so one fused pass lands bit-identical
+        to the per-batch path.
+        """
+        self.reads[pfns] += n_reads
+        self.writes[pfns] += n_writes
+        self.epoch_reads[pfns] += n_reads
+        self.epoch_writes[pfns] += n_writes
+        self.last_access_cycle[pfns] = cycle
+        self.touched[pfns] = True
         migrating = (self.state[pfns] == STATE_MIGRATING) & (n_writes > 0)
         if migrating.any():
             self.dirty_since_copy[pfns[migrating]] = True
@@ -169,6 +274,29 @@ class PageStatsStore:
         return (hot, hot_fast, cold_fast, fast)
 
     # -- row lifecycle (attach/detach mirror PhysPage semantics) ---------
+
+    def move_row(self, src: int, dest: int, pid: int, vpn: int) -> None:
+        """Bind ``dest`` (a fresh FREE frame) and copy migration-carried
+        state from ``src`` — the fused equivalent of PhysPage attach +
+        the per-field copies the migration engine used to do one property
+        at a time.  ``last_access_cycle``, ``shadow_pfn`` and
+        ``dirty_since_copy`` deliberately do not transfer (they never
+        did).
+        """
+        self.pid[dest] = pid
+        self.vpn[dest] = vpn
+        self.state[dest] = STATE_MAPPED
+        self.heat[dest] = self.heat[src]
+        self.reads[dest] = self.reads[src]
+        self.writes[dest] = self.writes[src]
+        er = int(self.epoch_reads[src])
+        ew = int(self.epoch_writes[src])
+        self.epoch_reads[dest] = er
+        self.epoch_writes[dest] = ew
+        if er or ew:
+            self.touched[dest] = True
+        self.tids_lo[dest] = self.tids_lo[src]
+        self.tids_hi[dest] = self.tids_hi[src]
 
     def detach_row(self, pfn: int) -> None:
         """Unbind a frame and reset per-mapping statistics."""

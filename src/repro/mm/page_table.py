@@ -66,6 +66,11 @@ class PageTable:
         #: Table pages allocated for this tree, by level (leaf counted
         #: only when owned — replication shares leaves).
         self.node_count_by_level = [0, 0, 0, 1]  # root exists
+        #: leaf-base (vpn >> 9) -> PT node. Leaf nodes are never removed
+        #: or replaced once linked (unmap only clears entries inside
+        #: them), so the cache needs no invalidation; it turns the hot
+        #: 3-level descent into one dict probe.
+        self._leaf_cache: dict[int, PageTableNode] = {}
 
     # -- internal walks ---------------------------------------------------
 
@@ -75,6 +80,9 @@ class PageTable:
         ``leaf_factory`` lets the replication layer supply a *shared*
         leaf node instead of a fresh one when creating.
         """
+        leaf = self._leaf_cache.get(vpn >> LEVEL_BITS)
+        if leaf is not None:
+            return leaf
         i3, i2, i1, _ = vpn_indices(vpn)
         node = self.root
         for level, idx in ((2, i3), (1, i2), (0, i1)):
@@ -89,6 +97,7 @@ class PageTable:
                     self.node_count_by_level[level] += 1
                 node.entries[idx] = child
             node = child  # type: ignore[assignment]
+        self._leaf_cache[vpn >> LEVEL_BITS] = node
         return node  # the PT leaf node
 
     def leaf_for(self, vpn: int) -> PageTableNode | None:
@@ -113,6 +122,7 @@ class PageTable:
         if existing is not None and existing is not leaf:
             raise ValueError(f"slot for vpn {vpn} already holds a different leaf")
         node.entries[i1] = leaf
+        self._leaf_cache[vpn >> LEVEL_BITS] = leaf
 
     # -- public mapping API ------------------------------------------------
 
@@ -139,15 +149,19 @@ class PageTable:
 
     def lookup(self, vpn: int) -> int | None:
         """Return the PTE integer for ``vpn`` or ``None``."""
-        leaf = self.leaf_for(vpn)
+        leaf = self._leaf_cache.get(vpn >> LEVEL_BITS)
         if leaf is None:
-            return None
+            leaf = self._walk_to_leaf(vpn, create=False)
+            if leaf is None:
+                return None
         value = leaf.entries.get(vpn & _LEVEL_MASK)
         return value if isinstance(value, int) else None
 
     def update(self, vpn: int, new_value: int) -> None:
         """Overwrite an existing PTE (remap / flag changes)."""
-        leaf = self.leaf_for(vpn)
+        leaf = self._leaf_cache.get(vpn >> LEVEL_BITS)
+        if leaf is None:
+            leaf = self._walk_to_leaf(vpn, create=False)
         idx = vpn & _LEVEL_MASK
         if leaf is None or not isinstance(leaf.entries.get(idx), int):
             raise KeyError(f"vpn {vpn} not mapped")
@@ -155,7 +169,9 @@ class PageTable:
 
     def modify(self, vpn: int, fn: Callable[[int], int]) -> int:
         """Apply ``fn`` to the current PTE and store the result."""
-        leaf = self.leaf_for(vpn)
+        leaf = self._leaf_cache.get(vpn >> LEVEL_BITS)
+        if leaf is None:
+            leaf = self._walk_to_leaf(vpn, create=False)
         idx = vpn & _LEVEL_MASK
         if leaf is None or not isinstance(leaf.entries.get(idx), int):
             raise KeyError(f"vpn {vpn} not mapped")

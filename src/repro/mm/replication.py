@@ -46,6 +46,9 @@ class FlatPteMirror:
         self.pfn = np.empty(0, dtype=np.int64)
         self.owner = np.empty(0, dtype=np.int16)
         self.dirty = np.zeros(0, dtype=bool)
+        #: raw 64-bit PTE value (0 = absent); lets the migration engine
+        #: read entries O(1) instead of walking the radix tree
+        self.value = np.zeros(0, dtype=np.int64)
         self._present_cache: np.ndarray | None = None
 
     def _ensure(self, vpn: int) -> None:
@@ -63,20 +66,22 @@ class FlatPteMirror:
             hi = max(self.base + self.pfn.size, vpn + 1)
             new_base = max(lo - 64, 0)
             new_size = max(hi - new_base + self._GROW_PAD, 2 * self.pfn.size)
-            old = (self.base, self.pfn, self.owner, self.dirty)
+            old = (self.base, self.pfn, self.owner, self.dirty, self.value)
         pfn = np.full(new_size, -1, dtype=np.int64)
         owner = np.full(new_size, -1, dtype=np.int16)
         dirty = np.zeros(new_size, dtype=bool)
+        value = np.zeros(new_size, dtype=np.int64)
         if old is not None:
-            ob, opfn, oowner, odirty = old
+            ob, opfn, oowner, odirty, ovalue = old
             off = ob - new_base
             pfn[off:off + opfn.size] = opfn
             owner[off:off + opfn.size] = oowner
             dirty[off:off + opfn.size] = odirty
-        self.base, self.pfn, self.owner, self.dirty = new_base, pfn, owner, dirty
+            value[off:off + opfn.size] = ovalue
+        self.base, self.pfn, self.owner, self.dirty, self.value = new_base, pfn, owner, dirty, value
         self._present_cache = None
 
-    def set(self, vpn: int, pfn: int, owner: int, dirty: bool) -> None:
+    def set(self, vpn: int, pfn: int, owner: int, dirty: bool, raw: int = 0) -> None:
         self._ensure(vpn)
         i = vpn - self.base
         if self.pfn[i] < 0:
@@ -84,9 +89,12 @@ class FlatPteMirror:
         self.pfn[i] = pfn
         self.owner[i] = owner
         self.dirty[i] = dirty
+        self.value[i] = raw
 
     def set_owner(self, vpn: int, owner: int) -> None:
-        self.owner[vpn - self.base] = owner
+        i = vpn - self.base
+        self.owner[i] = owner
+        self.value[i] = pte_mod.pte_with_tid(int(self.value[i]), owner)
 
     def clear(self, vpn: int) -> None:
         i = vpn - self.base
@@ -94,6 +102,7 @@ class FlatPteMirror:
             self.pfn[i] = -1
             self.owner[i] = -1
             self.dirty[i] = False
+            self.value[i] = 0
             self._present_cache = None
 
     def present_vpns(self) -> np.ndarray:
@@ -201,7 +210,7 @@ class ReplicatedPageTables:
         owner = tid if self.enabled else PTE_SHARED_TID
         value = pte_mod.pte_make(pfn=pfn, tid=owner, writable=writable, accessed=True)
         self.process_table.map(vpn, value)
-        self.flat.set(vpn, pfn, owner, dirty=False)
+        self.flat.set(vpn, pfn, owner, dirty=False, raw=value)
         if self.enabled:
             self._link_leaf(vpn, tid)
             self.stats.private_faults += 1
@@ -261,16 +270,47 @@ class ReplicatedPageTables:
             if tid not in self.thread_tables:
                 raise KeyError(f"tid {tid} not registered")
             shared_vpns = vpns[shared]
-            bases, first = np.unique(shared_vpns >> LEVEL_BITS, return_index=True)
-            for base, vpn in zip(bases.tolist(), shared_vpns[first].tolist()):
-                if tid not in self._leaf_tids.get(base, ()):
-                    self._link_leaf(vpn, tid)
+            if shared_vpns.size == 1 or bool((shared_vpns[1:] >= shared_vpns[:-1]).all()):
+                # Ascending input (the hot-path callers pass np.unique /
+                # flatnonzero output): the covering bases form a short
+                # contiguous range, so scan it instead of paying a
+                # per-call np.unique sort.  Any vpn of a base is a valid
+                # link representative — _link_leaf only uses vpn >> 9 —
+                # and after warm-up every base is already linked, making
+                # this a handful of dict probes.
+                leaf_tids = self._leaf_tids
+                first_base = int(shared_vpns[0]) >> LEVEL_BITS
+                last_base = int(shared_vpns[-1]) >> LEVEL_BITS
+                for base in range(first_base, last_base + 1):
+                    linked = leaf_tids.get(base)
+                    if linked is not None and tid in linked:
+                        continue
+                    j = int(np.searchsorted(shared_vpns, base << LEVEL_BITS))
+                    if j < shared_vpns.size and int(shared_vpns[j]) >> LEVEL_BITS == base:
+                        self._link_leaf(int(shared_vpns[j]), tid)
+            else:
+                bases, first = np.unique(shared_vpns >> LEVEL_BITS, return_index=True)
+                for base, vpn in zip(bases.tolist(), shared_vpns[first].tolist()):
+                    if tid not in self._leaf_tids.get(base, ()):
+                        self._link_leaf(vpn, tid)
         return n_transitions
 
     # -- queries the migration engine needs ---------------------------------
 
     def lookup(self, vpn: int) -> int | None:
         return self.process_table.lookup(vpn)
+
+    def value_of(self, vpn: int) -> int | None:
+        """O(1) :meth:`lookup` through the flat mirror.
+
+        The mirror is updated in lock-step with every PTE mutation, so
+        this returns exactly what the radix walk would.
+        """
+        flat = self.flat
+        i = vpn - flat.base
+        if i < 0 or i >= flat.pfn.size or flat.pfn[i] < 0:
+            return None
+        return int(flat.value[i])
 
     def update(self, vpn: int, new_value: int) -> None:
         """Single-store PTE update, visible through every replica."""
@@ -280,6 +320,7 @@ class ReplicatedPageTables:
             pte_mod.pte_pfn(new_value),
             pte_mod.pte_tid(new_value),
             pte_mod.pte_is_dirty(new_value),
+            raw=new_value,
         )
 
     def unmap(self, vpn: int) -> int:

@@ -28,7 +28,7 @@ from repro.mm.frame_alloc import FrameAllocator
 from repro.mm.lru import LruSubsystem
 from repro.mm.migration import MigrationEngine, OptimizationFlags
 from repro.mm.shadow import ShadowTracker
-from repro.profiling.base import AccessBatch, Profiler
+from repro.profiling.base import AccessBatch, EpochPlan, Profiler
 
 
 @dataclass
@@ -190,6 +190,13 @@ class TieringPolicy:
             return
         rt.profiler.observe(batch)
 
+    def observe_plan(self, plan: EpochPlan) -> None:
+        """Feed one process's whole epoch (batched :meth:`observe`)."""
+        rt = self.workloads.get(plan.pid)
+        if rt is None:
+            return
+        rt.profiler.observe_plan(plan)
+
     def note_tier_latency(self, fast_loaded_cycles: float, slow_loaded_cycles: float) -> None:
         """Observed loaded latencies this epoch (harness hook).
 
@@ -209,6 +216,16 @@ class TieringPolicy:
             return
         rt.epoch_fast_hits += fast
         rt.epoch_slow_hits += slow
+
+    def record_tier_samples(self, pid: int, fast: np.ndarray, slow: np.ndarray) -> None:
+        """Per-segment FTHR samples for one epoch (batched counterpart).
+
+        Sample windows are per-segment state (Vulcan's QoS tracker keeps
+        the raw pairs), so this dispatches one :meth:`record_tier_sample`
+        per segment — exactly the legacy call sequence.
+        """
+        for f, s in zip(fast.tolist(), slow.tolist()):
+            self.record_tier_sample(pid, f, s)
 
     def end_epoch(self) -> EpochResult:
         """Close the epoch: profilers roll over, migrations run."""

@@ -37,6 +37,57 @@ class AccessBatch:
         return int(self.vpns.size)
 
 
+@dataclass(frozen=True)
+class EpochPlan:
+    """One epoch of traffic for one process, all threads concatenated.
+
+    The vectorized successor to a ``list[AccessBatch]``: segment ``i``
+    covers ``vpns[offsets[i]:offsets[i+1]]`` and belongs to thread
+    ``tids[i]``.  Segments appear in the exact order the legacy
+    generator yielded batches (tid 0, 1, ...), so any consumer that
+    iterates :meth:`segments` reproduces the per-batch stream
+    bit-for-bit; fused consumers use the flat arrays plus
+    ``np.add.reduceat``-style reductions over ``offsets``.
+    """
+
+    pid: int
+    vpns: np.ndarray  # int64, all segments back to back
+    is_write: np.ndarray  # bool, same shape
+    offsets: np.ndarray  # int64, len n_segments + 1, offsets[0] == 0
+    tids: np.ndarray  # int64, len n_segments
+
+    def __post_init__(self) -> None:
+        if self.vpns.shape != self.is_write.shape:
+            raise ValueError("vpns and is_write must have identical shape")
+        if self.offsets.size != self.tids.size + 1:
+            raise ValueError("offsets must have one more entry than tids")
+        if self.offsets.size and int(self.offsets[-1]) != int(self.vpns.size):
+            raise ValueError("offsets[-1] must equal the access count")
+
+    @property
+    def n(self) -> int:
+        return int(self.vpns.size)
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.tids.size)
+
+    def segment(self, i: int) -> AccessBatch:
+        """Segment ``i`` as a legacy :class:`AccessBatch` (array views)."""
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        return AccessBatch(
+            pid=self.pid,
+            tid=int(self.tids[i]),
+            vpns=self.vpns[lo:hi],
+            is_write=self.is_write[lo:hi],
+        )
+
+    def segments(self):
+        """Iterate the legacy per-thread batch stream, in order."""
+        for i in range(self.n_segments):
+            yield self.segment(i)
+
+
 @dataclass
 class ProfilerStats:
     """Cost/quality accounting common to all profilers."""
@@ -83,6 +134,17 @@ class Profiler:
     def observe(self, batch: AccessBatch) -> None:
         """Ingest one access batch (mechanism-specific)."""
         raise NotImplementedError
+
+    def observe_plan(self, plan: EpochPlan) -> None:
+        """Ingest one process's whole epoch.
+
+        The default replays the legacy per-thread batch stream in order,
+        which is exact for every mechanism; subclasses with fused fast
+        paths must preserve per-segment RNG draws, sequential state
+        (poison windows), and per-segment heat-insertion order.
+        """
+        for batch in plan.segments():
+            self.observe(batch)
 
     def _accumulate(self, pid: int, vpns: np.ndarray, weights: np.ndarray, write_weights: np.ndarray | None = None) -> None:
         """Add heat mass to pages of ``pid`` (vectorized per unique page)."""

@@ -32,7 +32,7 @@ _GROW_PAD = 4096
 class _PidHeat:
     """One pid's dense heat array plus the insertion-ordered key set."""
 
-    __slots__ = ("base", "heat", "live", "order", "_order_cache")
+    __slots__ = ("base", "heat", "live", "order", "_order_cache", "min_live")
 
     def __init__(self) -> None:
         self.base = 0
@@ -40,6 +40,13 @@ class _PidHeat:
         self.live = np.zeros(0, dtype=bool)
         self.order: dict[int, None] = {}
         self._order_cache: np.ndarray | None = None
+        #: lower bound on the minimum live heat.  Decay multiplies it
+        #: alongside the array; while it stays >= the compaction floor
+        #: no live entry can have dropped below, so the per-epoch
+        #: compaction scan is provably a no-op and is skipped (the
+        #: multiply itself always runs — deferring it would change
+        #: float association and break bit-identity).
+        self.min_live = np.inf
 
     def ensure(self, lo: int, hi: int) -> None:
         """Grow arrays to cover vpns in ``[lo, hi]``."""
@@ -77,7 +84,19 @@ class _PidHeat:
         dup.heat = self.heat.copy()
         dup.live = self.live.copy()
         dup.order = dict(self.order)
+        dup.min_live = self.min_live
         return dup
+
+    def observe_written(self, idx: np.ndarray) -> None:
+        """Lower ``min_live`` after writes to ``heat[idx]``.
+
+        Taking the min over just the touched slots keeps the bound
+        valid for any write (adds of new entries, scaled fusion adds)
+        without rescanning the whole array.
+        """
+        m = float(self.heat[idx].min())
+        if m < self.min_live:
+            self.min_live = m
 
 
 class HeatStore:
@@ -108,6 +127,7 @@ class HeatStore:
                 order[vpn] = None
             ph.live[idx[new]] = True
             ph._order_cache = None
+        ph.observe_written(idx)
 
     def add_scaled(self, pid: int, vpns: np.ndarray, heats: np.ndarray, scale: float) -> None:
         """``heat[vpn] = heat.get(vpn, 0.0) + h * scale`` in given order.
@@ -129,6 +149,7 @@ class HeatStore:
                 order[vpn] = None
             ph.live[idx[new]] = True
             ph._order_cache = None
+        ph.observe_written(idx)
 
     def adopt_copy(self, pid: int, src: "HeatStore") -> None:
         """Replace ``pid``'s book with a copy of ``src``'s (fusion base)."""
@@ -139,9 +160,19 @@ class HeatStore:
             self._pids[pid] = sph.copy()
 
     def decay_all(self, decay: float, floor: float = DECAY_FLOOR) -> None:
-        """One-shot decay: ``heat *= decay`` then drop entries < floor."""
+        """One-shot decay: ``heat *= decay`` then drop entries < floor.
+
+        The multiply always runs (deferring it would re-associate float
+        products and break bit-identity); the compaction *scan* is
+        skipped whenever the pid's ``min_live`` lower bound proves no
+        live entry can be below the floor — the lazy-compaction path
+        that keeps million-frame books at one multiply per epoch.
+        """
         for ph in self._pids.values():
             ph.heat *= decay  # non-live entries are exactly 0.0
+            ph.min_live *= decay
+            if ph.min_live >= floor:
+                continue  # bound >= floor: scan provably drops nothing
             dead_idx = np.flatnonzero(ph.live & (ph.heat < floor))
             if dead_idx.size:
                 ph.heat[dead_idx] = 0.0
@@ -150,6 +181,12 @@ class HeatStore:
                 for vpn in (dead_idx + ph.base).tolist():
                     del order[vpn]
                 ph._order_cache = None
+            # the scan visited every live slot anyway: tighten the
+            # bound to the exact survivor minimum
+            if ph.order:
+                ph.min_live = float(ph.heat[ph.live].min())
+            else:
+                ph.min_live = np.inf
 
     def forget(self, pid: int) -> None:
         self._pids.pop(pid, None)
@@ -215,16 +252,18 @@ class HeatStore:
         compaction zeroes what it drops).  Used by the fuzz oracle.
         """
         for pid, ph in self._pids.items():
-            live_vpns = set((np.flatnonzero(ph.live) + ph.base).tolist())
-            order_vpns = set(ph.order)
-            if live_vpns != order_vpns:
-                missing = sorted(live_vpns - order_vpns)[:8]
-                extra = sorted(order_vpns - live_vpns)[:8]
+            live_vpns = np.flatnonzero(ph.live) + ph.base  # ascending
+            order_arr = np.fromiter(ph.order, dtype=np.int64, count=len(ph.order))
+            order_sorted = np.sort(order_arr)
+            if not np.array_equal(live_vpns, order_sorted):
+                missing = np.setdiff1d(live_vpns, order_sorted)[:8].tolist()
+                extra = np.setdiff1d(order_sorted, live_vpns)[:8].tolist()
                 raise RuntimeError(
-                    f"pid {pid} heat key set desynced: {len(live_vpns)} live vs "
-                    f"{len(order_vpns)} ordered (live-only {missing}, order-only {extra})"
+                    f"pid {pid} heat key set desynced: {live_vpns.size} live vs "
+                    f"{order_arr.size} ordered (live-only {missing}, order-only {extra})"
                 )
-            if ph._order_cache is not None and set(ph._order_cache.tolist()) != order_vpns:
+            cache = ph._order_cache
+            if cache is not None and not np.array_equal(np.sort(cache), order_sorted):
                 raise RuntimeError(f"pid {pid} heat order cache stale")
             dead_heat = np.flatnonzero(~ph.live & (ph.heat != 0.0))
             if dead_heat.size:
@@ -233,6 +272,13 @@ class HeatStore:
                     f"pid {pid}: {dead_heat.size} dead slot(s) hold nonzero heat "
                     f"(first vpn {vpn} = {float(ph.heat[dead_heat[0]])})"
                 )
+            if live_vpns.size:
+                true_min = float(ph.heat[ph.live].min())
+                if true_min < ph.min_live:
+                    raise RuntimeError(
+                        f"pid {pid}: min_live bound {ph.min_live} above true "
+                        f"minimum live heat {true_min} (lazy compaction unsound)"
+                    )
 
     def hottest(self, pid: int, n: int) -> list[tuple[int, float]]:
         """Top-``n`` (vpn, heat), hottest first, vpn-tiebroken.

@@ -25,6 +25,21 @@ HINT_FAULT_COST_CYCLES = 2_500.0
 POISON_COST_CYCLES = 150.0
 
 
+def _member(values: np.ndarray, sorted_ref: np.ndarray) -> np.ndarray:
+    """``np.isin(values, sorted_ref)`` for an already-sorted reference.
+
+    Same boolean mask, without np.isin re-sorting the reference on
+    every call.
+    """
+    if sorted_ref.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.searchsorted(sorted_ref, values)
+    in_range = pos < sorted_ref.size
+    out = np.zeros(values.shape, dtype=bool)
+    out[in_range] = sorted_ref[pos[in_range]] == values[in_range]
+    return out
+
+
 class HintFaultProfiler(Profiler):
     """Rotating prot_none poisoning with exact hit accounting."""
 
@@ -39,6 +54,11 @@ class HintFaultProfiler(Profiler):
         self._pages: dict[int, np.ndarray] = {}
         #: pid -> currently poisoned vpn set
         self._poisoned: dict[int, set[int]] = {}
+        #: pid -> *sorted* ndarray mirror of the poisoned set.  Only
+        #: membership is ever asked of it, so keeping it sorted lets
+        #: ``observe`` use searchsorted instead of np.isin (which
+        #: re-sorts both operands on every batch).
+        self._parr: dict[int, np.ndarray] = {}
         #: pid -> rotation cursor into the page array
         self._cursor: dict[int, int] = {}
 
@@ -54,11 +74,14 @@ class HintFaultProfiler(Profiler):
         pages = self._pages.get(pid)
         if pages is None or pages.size == 0:
             self._poisoned[pid] = set()
+            self._parr[pid] = np.empty(0, dtype=np.int64)
             return
         window = max(int(pages.size * self.window_fraction), 1)
         start = self._cursor.get(pid, 0) % pages.size
         idx = (start + np.arange(window)) % pages.size
-        self._poisoned[pid] = set(pages[idx].tolist())
+        win = pages[idx]
+        self._poisoned[pid] = set(win.tolist())
+        self._parr[pid] = np.sort(win)
         self._cursor[pid] = (start + window) % pages.size
         self.stats.overhead_cycles += window * POISON_COST_CYCLES
 
@@ -70,8 +93,11 @@ class HintFaultProfiler(Profiler):
         poisoned = self._poisoned.get(batch.pid)
         if not poisoned:
             return
-        parr = np.fromiter(poisoned, dtype=np.int64)
-        mask = np.isin(batch.vpns, parr)
+        parr = self._parr.get(batch.pid)
+        if parr is None or parr.size != len(poisoned):
+            parr = np.sort(np.fromiter(poisoned, dtype=np.int64))
+            self._parr[batch.pid] = parr
+        mask = _member(batch.vpns, parr)
         hits = batch.vpns[mask]
         if hits.size == 0:
             return
@@ -81,12 +107,13 @@ class HintFaultProfiler(Profiler):
         self.stats.samples_taken += int(uniq.size)
         self.stats.app_overhead_cycles += uniq.size * HINT_FAULT_COST_CYCLES
         poisoned.difference_update(uniq.tolist())
+        self._parr[batch.pid] = parr[~_member(parr, uniq)]
         # The first-touch indicator carries one heat unit; exact
         # write/read split is visible for the faulting access.
         writes_first = np.zeros(uniq.size, dtype=np.float64)
         w_hits = np.unique(batch.vpns[mask & batch.is_write])
         if w_hits.size:
-            writes_first[np.isin(uniq, w_hits)] = 1.0
+            writes_first[_member(uniq, w_hits)] = 1.0
         self._accumulate(batch.pid, uniq, np.ones(uniq.size), write_weights=writes_first)
 
     def end_epoch(self) -> None:
@@ -98,4 +125,5 @@ class HintFaultProfiler(Profiler):
         super().forget(pid)
         self._pages.pop(pid, None)
         self._poisoned.pop(pid, None)
+        self._parr.pop(pid, None)
         self._cursor.pop(pid, None)

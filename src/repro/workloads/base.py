@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.classify import ServiceClass
 from repro.mm.address_space import Vma
-from repro.profiling.base import AccessBatch
+from repro.profiling.base import AccessBatch, EpochPlan
 
 
 @dataclass(frozen=True)
@@ -110,6 +110,41 @@ class Workload:
                 vpns, writes = self._thread_access(tid, n, epoch)
             batches.append(AccessBatch(pid=self.pid, tid=tid, vpns=vpns, is_write=writes))
         return batches
+
+    def plan_epoch(self, epoch: int) -> EpochPlan:
+        """Produce the epoch's traffic as one vectorized :class:`EpochPlan`.
+
+        Consumes exactly the RNG stream :meth:`generate` would — the
+        same single ``issue_rate`` call, then ``_thread_access`` per tid
+        in order — so batched and legacy runs are bit-identical.
+        """
+        if self.pid is None or self.vma is None:
+            raise RuntimeError(f"workload {self.name!r} not bound to a process")
+        n = int(self.spec.accesses_per_thread * self.issue_rate(epoch))
+        n_threads = self.spec.n_threads
+        offsets = np.zeros(n_threads + 1, dtype=np.int64)
+        if n <= 0:
+            return EpochPlan(
+                pid=self.pid,
+                vpns=np.empty(0, dtype=np.int64),
+                is_write=np.empty(0, dtype=bool),
+                offsets=offsets,
+                tids=np.arange(n_threads, dtype=np.int64),
+            )
+        parts_v: list[np.ndarray] = []
+        parts_w: list[np.ndarray] = []
+        for tid in range(n_threads):
+            vpns, writes = self._thread_access(tid, n, epoch)
+            parts_v.append(vpns)
+            parts_w.append(writes)
+            offsets[tid + 1] = offsets[tid] + vpns.size
+        return EpochPlan(
+            pid=self.pid,
+            vpns=np.concatenate(parts_v),
+            is_write=np.concatenate(parts_w),
+            offsets=offsets,
+            tids=np.arange(n_threads, dtype=np.int64),
+        )
 
     def _thread_access(self, tid: int, n: int, epoch: int) -> tuple[np.ndarray, np.ndarray]:
         """Return (vpns, is_write) for one thread's epoch traffic."""

@@ -72,6 +72,41 @@ def paper_colocation_mix(
     ]
 
 
+def hugeheap_mix(
+    sim: SimulationConfig,
+    *,
+    seed: int = 0,
+    n_threads: int = 8,
+    accesses_per_thread: int | None = None,
+) -> list[Workload]:
+    """The Table 2 mix, all admitted at t=0, for fine-grained page units.
+
+    Used by ``repro bench --hugeheap``: with a ~150 kB page unit the
+    Table 2 RSS values fault in over a million simulated pages, which is
+    what the chunked frame stores are sized against.  Starting every
+    workload at epoch 0 makes the full heap materialize up front, so
+    short benchmark runs still exercise the full store.
+    """
+    apt = accesses_per_thread if accesses_per_thread is not None else 20_000
+    from repro.core.classify import ServiceClass
+
+    def spec(name: str, service) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=name,
+            service=service,
+            rss_pages=sim.pages_for(PAPER_RSS_BYTES[name]),
+            n_threads=n_threads,
+            start_epoch=0,
+            accesses_per_thread=int(apt * INTENSITY[name]),
+        )
+
+    return [
+        MemcachedWorkload(spec("memcached", ServiceClass.LC), seed=seed),
+        PageRankWorkload(spec("pagerank", ServiceClass.BE), seed=seed + 1),
+        LiblinearWorkload(spec("liblinear", ServiceClass.BE), seed=seed + 2),
+    ]
+
+
 def dilemma_pair(
     sim: SimulationConfig | None = None,
     *,

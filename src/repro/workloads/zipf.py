@@ -30,6 +30,11 @@ class ZipfSampler:
         generator per call).
     """
 
+    #: inverse-CDF lookup-table resolution (power of two: the bucket
+    #: boundaries b/M are then exact binary floats, so the bracket
+    #: invariant below holds with equality, not approximately)
+    _LUT_BUCKETS = 1 << 16
+
     def __init__(self, n: int, s: float = 0.99, *, permute: bool = False, rng: np.random.Generator | None = None) -> None:
         if n <= 0:
             raise ValueError("support size must be positive")
@@ -40,11 +45,49 @@ class ZipfSampler:
         weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-s)
         self._cdf = np.cumsum(weights)
         self._cdf /= self._cdf[-1]
+        # Bucket b of the LUT brackets searchsorted's answer for any
+        # u in [b/M, (b+1)/M): monotonicity gives
+        #   lut[b] <= searchsorted(cdf, u, 'right') <= lut[b+1].
+        m = self._LUT_BUCKETS
+        grid = np.arange(m + 1, dtype=np.float64) / m
+        self._lut = np.searchsorted(self._cdf, grid, side="right").astype(np.int64)
         if permute:
             gen = rng if rng is not None else np.random.default_rng(0)
             self._perm: np.ndarray | None = gen.permutation(n)
         else:
             self._perm = None
+
+    def _invert(self, u: np.ndarray) -> np.ndarray:
+        """Exactly ``np.searchsorted(self._cdf, u, side='right')``.
+
+        The LUT narrows each sample to a short index range in O(1);
+        the few samples whose bucket straddles a CDF step finish with a
+        vectorized bisection over that (tiny) range.  The result is the
+        same integer ``searchsorted`` returns for every input — callers
+        rely on that for bit-identical RNG-stream consumption.
+        """
+        m = self._LUT_BUCKETS
+        b = (u * m).astype(np.int64)
+        # Float rounding in u*m can land one bucket off; nudge back so
+        # b/m <= u < (b+1)/m holds exactly (b/m is exact: m is 2**16).
+        b[u < b / m] -= 1
+        b[u >= (b + 1) / m] += 1
+        lo = self._lut[b]
+        hi = self._lut[b + 1]
+        need = lo < hi
+        if need.any():
+            cdf = self._cdf
+            lo_r, hi_r, u_r = lo[need], hi[need], u[need]
+            open_ = lo_r < hi_r
+            while open_.any():
+                mid = (lo_r + hi_r) >> 1
+                right = (cdf[np.minimum(mid, cdf.size - 1)] <= u_r) & open_
+                shrink = ~right & open_
+                lo_r[right] = mid[right] + 1
+                hi_r[shrink] = mid[shrink]
+                open_ = lo_r < hi_r
+            lo[need] = lo_r
+        return lo
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``size`` indices in ``[0, n)``."""
@@ -53,7 +96,7 @@ class ZipfSampler:
         if size == 0:
             return np.empty(0, dtype=np.int64)
         u = rng.random(size)
-        ranks = np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+        ranks = self._invert(u)
         np.clip(ranks, 0, self.n - 1, out=ranks)
         if self._perm is not None:
             return self._perm[ranks]

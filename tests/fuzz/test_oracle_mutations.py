@@ -94,7 +94,7 @@ class TestDoubleFree:
         # departed mid-run, so its frames are back on the free lists)
         pfn = next(
             p for tier in bed.allocator.tiers for p in tier.free_list
-            if p in bed.allocator._pages
+            if bed.allocator.ever_allocated(p)
         )
         with pytest.raises(ValueError, match=f"double free of pfn {pfn}"):
             bed.allocator.free(pfn)

@@ -1,0 +1,68 @@
+"""LUT-accelerated inverse-CDF must equal ``np.searchsorted`` exactly.
+
+Workload traffic generation relies on ``ZipfSampler._invert`` returning
+the very integer ``np.searchsorted(cdf, u, side='right')`` would, for
+every float input — any divergence silently changes which pages a
+workload touches and breaks bit-identical replay.  These tests pin the
+equality on random draws, adversarial inputs sitting exactly on LUT
+bucket boundaries, and inputs equal to CDF steps themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import ZipfSampler
+
+
+def _reference(sampler: ZipfSampler, u: np.ndarray) -> np.ndarray:
+    return np.searchsorted(sampler._cdf, u, side="right").astype(np.int64)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 17, 1000, 65_537])
+@pytest.mark.parametrize("s", [0.0, 0.5, 0.99, 1.2])
+def test_invert_matches_searchsorted_on_random_draws(n: int, s: float) -> None:
+    sampler = ZipfSampler(n, s)
+    rng = np.random.default_rng(42)
+    u = rng.random(20_000)
+    np.testing.assert_array_equal(sampler._invert(u.copy()), _reference(sampler, u))
+
+
+def test_invert_matches_on_lut_bucket_boundaries() -> None:
+    sampler = ZipfSampler(512, 0.99)
+    m = sampler._LUT_BUCKETS
+    # every representable bucket edge b/m (exact binary floats), plus
+    # the floats immediately next to a sample of them
+    edges = np.arange(m, dtype=np.float64) / m
+    rng = np.random.default_rng(7)
+    some = rng.choice(edges[1:], size=1024, replace=False)
+    u = np.concatenate([edges, np.nextafter(some, 0.0), np.nextafter(some, 1.0)])
+    np.testing.assert_array_equal(sampler._invert(u.copy()), _reference(sampler, u))
+
+
+def test_invert_matches_on_cdf_steps() -> None:
+    sampler = ZipfSampler(257, 0.8)
+    cdf = sampler._cdf
+    inside = cdf[cdf < 1.0]
+    u = np.concatenate([inside, np.nextafter(inside, 0.0), np.nextafter(inside, 1.0)])
+    np.testing.assert_array_equal(sampler._invert(u.copy()), _reference(sampler, u))
+
+
+def test_invert_matches_at_extremes() -> None:
+    sampler = ZipfSampler(1000, 0.99)
+    u = np.array([0.0, np.nextafter(0.0, 1.0), 0.5, np.nextafter(1.0, 0.0)])
+    np.testing.assert_array_equal(sampler._invert(u.copy()), _reference(sampler, u))
+
+
+def test_sample_consumes_one_uniform_block_per_call() -> None:
+    # the RNG-stream-identity contract: sample(size) must consume
+    # exactly rng.random(size) and nothing else
+    sampler = ZipfSampler(4096, 0.99)
+    r1 = np.random.default_rng(3)
+    r2 = np.random.default_rng(3)
+    out = sampler.sample(777, r1)
+    u = r2.random(777)
+    np.testing.assert_array_equal(out, np.clip(_reference(sampler, u), 0, sampler.n - 1))
+    # both generators are now in the same state
+    assert r1.random() == r2.random()
