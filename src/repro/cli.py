@@ -228,6 +228,34 @@ def _print_profile(profiler, top: int = 20) -> None:
     stats.print_stats(top)
 
 
+def _profile_payload(profiler, top: int = 50) -> dict:
+    """The profile as machine-readable hotspots, cumulative-sorted."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (file, line, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        entries.append(
+            {
+                "function": f"{file}:{line}({name})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    entries.sort(key=lambda e: (-e["cumtime_s"], e["function"]))
+    return {"total_tottime_s": round(stats.total_tt, 6), "hotspots": entries[:top]}
+
+
+def _emit_profile(profiler, out: Path) -> None:
+    """Print the human top-20 and write the JSON artifact next to ``out``."""
+    _print_profile(profiler)
+    ppath = out.with_suffix(".profile.json")
+    ppath.write_text(json.dumps(_profile_payload(profiler), indent=2) + "\n")
+    print(f"wrote {ppath}")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.bench import check_regression, run_bench, run_hugeheap_bench
 
@@ -239,11 +267,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         profiler.enable()
     if args.hugeheap:
         bench = run_hugeheap_bench(quick=args.quick)
+        out = Path("BENCH_hugeheap.json" if args.output == _BENCH_DEFAULT_OUTPUT else args.output)
         if profiler is not None:
             profiler.disable()
-            _print_profile(profiler)
+            _emit_profile(profiler, out)
         payload = bench.to_dict()
-        out = Path("BENCH_hugeheap.json" if args.output == _BENCH_DEFAULT_OUTPUT else args.output)
         huge = payload["simulated"]["hugeheap"]
         print(
             f"{bench.epochs} epochs in {bench.wall_seconds:.2f}s "
@@ -285,7 +313,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
     if profiler is not None:
         profiler.disable()
-        _print_profile(profiler)
+        _emit_profile(profiler, out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
     if args.check:

@@ -21,6 +21,7 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro import kernels
 from repro.core.classify import PageClass
 from repro.core.queues import PromotionQueues
 from repro.mm.frame_alloc import FrameAllocator
@@ -100,31 +101,23 @@ class BiasedMigrationPolicy:
         vpns, heats = profiler.heat_view(pid)
         if vpns.size == 0:
             return 0
-        hot = heats >= self.hot_threshold
-        vpns, heats = vpns[hot], heats[hot]
-        if vpns.size == 0:
-            return 0
         flat = repl.flat
-        idx = vpns - flat.base
-        in_range = (idx >= 0) & (idx < flat.pfn.size)
-        pfns = np.full(vpns.size, -1, dtype=np.int64)
-        owners = np.full(vpns.size, -1, dtype=np.int16)
-        pfns[in_range] = flat.pfn[idx[in_range]]
-        owners[in_range] = flat.owner[idx[in_range]]
-        slow = (pfns >= 0) & (pfns >= allocator.store.fast_frames)
-        if not slow.any():
+        cand_vpns, cand_heats, priv = kernels.hot_slow_candidates(
+            vpns, heats, self.hot_threshold, flat.pfn, flat.owner,
+            flat.base, allocator.store.fast_frames, PTE_SHARED_TID,
+        )
+        if cand_vpns.size == 0:
             return 0
-        wfs = profiler.write_fraction_many(pid, vpns)
-        sel = np.flatnonzero(slow)
+        wfs = profiler.write_fraction_many(pid, cand_vpns)
         # Vectorized classify_page: write_fraction_many guarantees
         # [0, 1] so the scalar range check is redundant, and the
         # elementwise >= is the same compare it made per page.  The
         # enqueues stay sequential — the queues' running class means
         # (MLFQ escalation) are order-dependent.
-        vpn_l = vpns[sel].tolist()
-        heat_l = heats[sel].tolist()
-        priv_l = (owners[sel] != PTE_SHARED_TID).tolist()
-        wi_l = (wfs[sel] >= self.write_intensive_threshold).tolist()
+        vpn_l = cand_vpns.tolist()
+        heat_l = cand_heats.tolist()
+        priv_l = priv.tolist()
+        wi_l = (wfs >= self.write_intensive_threshold).tolist()
         enqueue = queues.enqueue
         for vpn, heat, p, wi in zip(vpn_l, heat_l, priv_l, wi_l):
             if p:

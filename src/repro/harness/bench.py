@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.harness.experiment import ColocationExperiment, ExperimentResult
 from repro.metrics.fairness import cfi
 from repro.sim.config import SimulationConfig
@@ -48,6 +49,27 @@ HUGE_EPOCHS = 24
 HUGE_QUICK_EPOCHS = 6
 HUGE_ACCESSES_PER_THREAD = 2000
 HUGE_QUICK_ACCESSES_PER_THREAD = 1000
+
+
+def _normalize_maxrss(maxrss: int, platform_name: str) -> int:
+    """``getrusage().ru_maxrss`` in kB regardless of platform.
+
+    POSIX leaves the unit unspecified: Linux reports kilobytes but
+    macOS reports *bytes*, so raw values are 1024× off between the two
+    — the unit bug this helper exists to pin down.  Pure function of
+    its inputs so the conversion is unit-testable without faking
+    ``resource``.
+    """
+    if platform_name == "darwin":
+        return maxrss // 1024
+    return maxrss
+
+
+def peak_rss_kb() -> int:
+    """Current process's peak RSS in kB (platform-normalized)."""
+    return _normalize_maxrss(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss, sys.platform
+    )
 
 
 @dataclass(frozen=True)
@@ -98,6 +120,7 @@ class BenchResult:
             "host": {
                 "python": platform.python_version(),
                 "machine": platform.machine(),
+                "kernels": kernels.BACKEND,
             },
             "timing": {
                 "wall_seconds": round(self.wall_seconds, 3),
@@ -132,7 +155,7 @@ def run_bench(*, quick: bool = False, scenario: str | None = None) -> BenchResul
         accesses_per_thread=apt,
         wall_seconds=wall,
         epochs_per_sec=epochs / wall,
-        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        peak_rss_kb=peak_rss_kb(),
         result=res,
     )
 
@@ -162,7 +185,7 @@ def run_hugeheap_bench(*, quick: bool = False) -> BenchResult:
         accesses_per_thread=apt,
         wall_seconds=wall,
         epochs_per_sec=epochs / wall,
-        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        peak_rss_kb=peak_rss_kb(),
         result=res,
         scenario_info={
             "scenario": "hugeheap",
@@ -200,7 +223,7 @@ def _run_scenario_bench(name: str) -> BenchResult:
         accesses_per_thread=apt,
         wall_seconds=wall,
         epochs_per_sec=spec.n_epochs / wall,
-        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        peak_rss_kb=peak_rss_kb(),
         result=sres.result,
         scenario_info={
             "scenario": name,

@@ -219,6 +219,15 @@ class ExperimentResult:
 class ColocationExperiment:
     """Build a machine + policy + workloads and run the epoch loop."""
 
+    #: epochs of traffic plans each workload prefetches per burst (see
+    #: :meth:`Workload.planned_epoch`).  Safe for static runs because
+    #: plans are pure functions of (seed, epoch, spec) and the one
+    #: persistent RNG stream (issue-rate jitter) is drawn in the same
+    #: order a non-prefetching run draws it.  The scenario engine
+    #: overrides this to 1: scripted reshape/reseed events would
+    #: invalidate prefetched plans after their RNG draws were consumed.
+    plan_horizon = 4
+
     def __init__(
         self,
         policy: str | TieringPolicy,
@@ -283,6 +292,7 @@ class ColocationExperiment:
             core_map[tid] = core
 
         vma = proc.mmap(wl.spec.rss_pages, name=f"{wl.name}-rss")
+        wl.plan_horizon = self.plan_horizon
         wl.bind(pid, vma)  # bind first: first_touch_tid may need region layout
         space = AddressSpace(proc, self.allocator)
         # First touch sets PTE ownership (§3.4): the workload says which
@@ -421,8 +431,8 @@ class ColocationExperiment:
         epoch_issue: dict[int, float] = {}
         for pid, wl in self._active.items():
             space = self._spaces[pid]
-            epoch_issue[pid] = wl.issue_rate(epoch)
             if legacy:
+                epoch_issue[pid] = wl.issue_rate(epoch)
                 fast_total = 0
                 slow_total = 0
                 for batch in wl.generate(epoch):
@@ -433,7 +443,8 @@ class ColocationExperiment:
                     self.policy.record_tier_sample(pid, f, s)
                 epoch_hits[pid] = (fast_total, slow_total)
             else:
-                plan = wl.plan_epoch(epoch)
+                issue, plan = wl.planned_epoch(epoch)
+                epoch_issue[pid] = issue
                 fast_seg, slow_seg = space.record_plan(plan, cycle=epoch)
                 self.policy.observe_plan(plan)
                 self.policy.record_tier_samples(pid, fast_seg, slow_seg)

@@ -1,0 +1,329 @@
+"""Pure-numpy reference kernels (DESIGN.md §6).
+
+Every function here is the *specification*: the bodies are the exact
+array programs the hot paths ran before the kernel tier existed, moved
+verbatim so the numba mirrors in :mod:`repro.kernels.nb_backend` have a
+bit-identical reference to be differentially pinned against.  Keep them
+boring — no behavioural cleverness belongs in this file, only the
+arithmetic the goldens froze.
+
+Shared contract (both backends):
+
+* integer kernels may reorder freely (integer adds commute);
+* float kernels must perform the same elementwise operations in the
+  same per-slot order the dict/object era used (one add per unique key
+  per batch, one multiply per decay);
+* no kernel consumes RNG state — draws stay in the callers so stream
+  order is backend-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: lifecycle codes, mirrored from repro.mm.page_store (no import cycle)
+_STATE_MAPPED = 1
+_STATE_MIGRATING = 2
+
+
+def warmup() -> None:
+    """No-op (the numba backend compiles its kernels here)."""
+
+
+# -- Zipf LUT inversion ----------------------------------------------------------
+
+
+def zipf_invert(cdf: np.ndarray, lut: np.ndarray, m: int, u: np.ndarray) -> np.ndarray:
+    """Exactly ``np.searchsorted(cdf, u, side='right')``.
+
+    The LUT narrows each sample to a short index range in O(1); the few
+    samples whose bucket straddles a CDF step finish with a vectorized
+    bisection over that (tiny) range.
+    """
+    b = (u * m).astype(np.int64)
+    # Float rounding in u*m can land one bucket off; nudge back so
+    # b/m <= u < (b+1)/m holds exactly (b/m is exact: m is 2**16).
+    b[u < b / m] -= 1
+    b[u >= (b + 1) / m] += 1
+    lo = lut[b]
+    hi = lut[b + 1]
+    need = lo < hi
+    if need.any():
+        lo_r, hi_r, u_r = lo[need], hi[need], u[need]
+        open_ = lo_r < hi_r
+        while open_.any():
+            mid = (lo_r + hi_r) >> 1
+            right = (cdf[np.minimum(mid, cdf.size - 1)] <= u_r) & open_
+            shrink = ~right & open_
+            lo_r[right] = mid[right] + 1
+            hi_r[shrink] = mid[shrink]
+            open_ = lo_r < hi_r
+        lo[need] = lo_r
+    return lo
+
+
+# -- PageStatsStore hot updates --------------------------------------------------
+
+
+def page_record_rows(
+    reads: np.ndarray,
+    writes: np.ndarray,
+    epoch_reads: np.ndarray,
+    epoch_writes: np.ndarray,
+    last_access_cycle: np.ndarray,
+    touched: np.ndarray,
+    state: np.ndarray,
+    dirty_since_copy: np.ndarray,
+    pfns: np.ndarray,
+    n_reads: np.ndarray,
+    n_writes: np.ndarray,
+    cycle: int,
+) -> None:
+    """Account per-frame access counts for unique ``pfns`` rows."""
+    reads[pfns] += n_reads
+    writes[pfns] += n_writes
+    epoch_reads[pfns] += n_reads
+    epoch_writes[pfns] += n_writes
+    last_access_cycle[pfns] = cycle
+    touched[pfns] = True
+    # Writes landing while a transactional copy is in flight dirty the
+    # source frame (same rule as PhysPage.record_access).
+    migrating = (state[pfns] == _STATE_MIGRATING) & (n_writes > 0)
+    if migrating.any():
+        dirty_since_copy[pfns[migrating]] = True
+
+
+def page_reset_epoch(
+    touched: np.ndarray,
+    state: np.ndarray,
+    epoch_reads: np.ndarray,
+    epoch_writes: np.ndarray,
+) -> None:
+    """Zero epoch counters on touched MAPPED/MIGRATING frames."""
+    idx = np.flatnonzero(touched)
+    if idx.size == 0:
+        return
+    st = state[idx]
+    clearable = idx[(st == _STATE_MAPPED) | (st == _STATE_MIGRATING)]
+    epoch_reads[clearable] = 0
+    epoch_writes[clearable] = 0
+    touched[clearable] = False
+
+
+def pid_fast_usage(state: np.ndarray, pid_col: np.ndarray, pid: int, fast_frames: int) -> int:
+    """How many fast-tier frames ``pid`` maps (PTE-walk equivalent)."""
+    live = (state == _STATE_MAPPED) | (state == _STATE_MIGRATING)
+    pfns = np.flatnonzero(live & (pid_col == pid))
+    return int((pfns < fast_frames).sum())
+
+
+def pid_ground_truth(
+    state: np.ndarray,
+    pid_col: np.ndarray,
+    epoch_reads: np.ndarray,
+    epoch_writes: np.ndarray,
+    pid: int,
+    fast_frames: int,
+    cut: int,
+) -> tuple[int, int, int, int]:
+    """(hot, hot∧fast, cold∧fast, fast) page counts for ``pid``."""
+    live = (state == _STATE_MAPPED) | (state == _STATE_MIGRATING)
+    pfns = np.flatnonzero(live & (pid_col == pid))
+    in_fast = pfns < fast_frames
+    is_hot = (epoch_reads[pfns] + epoch_writes[pfns]) >= cut
+    fast = int(in_fast.sum())
+    hot = int(is_hot.sum())
+    hot_fast = int((is_hot & in_fast).sum())
+    return (hot, hot_fast, fast - hot_fast, fast)
+
+
+# -- HeatStore accumulate / decay / gather / top-k -------------------------------
+
+
+def heat_accumulate(
+    heat: np.ndarray, live: np.ndarray, idx: np.ndarray, sums: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """``heat[idx] += sums`` (unique slots); returns (new-slot mask,
+    min written heat) for the caller's order-set / min-live bookkeeping."""
+    heat[idx] += sums
+    new = ~live[idx]
+    live[idx] = True
+    return new, float(heat[idx].min())
+
+
+def heat_add_scaled(
+    heat: np.ndarray, live: np.ndarray, idx: np.ndarray, heats: np.ndarray, scale: float
+) -> tuple[np.ndarray, float]:
+    """``heat[idx] += heats * scale`` (unique slots, any order)."""
+    heat[idx] += heats * scale
+    new = ~live[idx]
+    live[idx] = True
+    return new, float(heat[idx].min())
+
+
+def heat_decay(heat: np.ndarray, decay: float) -> None:
+    """One epoch of exponential decay (non-live entries are exactly 0.0)."""
+    heat *= decay
+
+
+def heat_compact(heat: np.ndarray, live: np.ndarray, floor: float) -> np.ndarray:
+    """Drop live entries whose heat fell below ``floor``; returns their
+    slot indices (ascending) so the caller can fix the order set."""
+    dead_idx = np.flatnonzero(live & (heat < floor))
+    if dead_idx.size:
+        heat[dead_idx] = 0.0
+        live[dead_idx] = False
+    return dead_idx
+
+
+def heat_min_live(heat: np.ndarray, live: np.ndarray) -> float:
+    """Exact minimum live heat (inf when nothing is live)."""
+    h = heat[live]
+    if h.size == 0:
+        return float(np.inf)
+    return float(h.min())
+
+
+def heat_gather(heat: np.ndarray, base: int, vpns: np.ndarray) -> np.ndarray:
+    """``heat.get(vpn, 0.0)`` vectorized over ``vpns``."""
+    out = np.zeros(vpns.size, dtype=np.float64)
+    idx = vpns - base
+    ok = (idx >= 0) & (idx < heat.size)
+    out[ok] = heat[idx[ok]]
+    return out
+
+
+def topk_live(
+    heat: np.ndarray, live: np.ndarray, base: int, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Prune the live set to everything tied with the ``n``-th largest
+    heat (ascending vpn); the caller applies the exact (-heat, vpn)
+    lexsort on the survivors."""
+    vpns = np.flatnonzero(live) + base  # ascending
+    heats = heat[vpns - base]
+    if n < vpns.size:
+        # Keep everything tied with the k-th largest heat so the vpn
+        # tiebreak stays exact, then order the survivors.
+        kth = np.partition(heats, vpns.size - n)[vpns.size - n]
+        keep = heats >= kth
+        vpns, heats = vpns[keep], heats[keep]
+    return vpns, heats
+
+
+# -- profiler helpers ------------------------------------------------------------
+
+
+def accumulate_unique(
+    vpns: np.ndarray, weights: np.ndarray, write_weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(unique vpns ascending, per-vpn weight sums, write-weight sums).
+
+    Accumulation order per slot is array order, exactly what
+    ``np.bincount`` does — the float-add association the goldens pin.
+    """
+    uniq, inverse = np.unique(vpns, return_inverse=True)
+    sums = np.bincount(inverse, weights=weights)
+    wsums = np.bincount(inverse, weights=write_weights)
+    return uniq, sums, wsums
+
+
+def member_sorted(values: np.ndarray, sorted_ref: np.ndarray) -> np.ndarray:
+    """``np.isin(values, sorted_ref)`` for an already-sorted reference."""
+    if sorted_ref.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.searchsorted(sorted_ref, values)
+    in_range = pos < sorted_ref.size
+    out = np.zeros(values.shape, dtype=bool)
+    out[in_range] = sorted_ref[pos[in_range]] == values[in_range]
+    return out
+
+
+def write_fractions(h: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``min(w/h, 1)`` where ``h > 0`` else 0, elementwise."""
+    out = np.zeros(h.size, dtype=np.float64)
+    pos = h > 0.0
+    out[pos] = np.minimum(w[pos] / h[pos], 1.0)
+    return out
+
+
+# -- EpochPlan execution ---------------------------------------------------------
+
+
+def plan_span_stats(
+    off_all: np.ndarray,
+    is_write: np.ndarray,
+    pfn_all: np.ndarray,
+    fast_frames: int,
+    offsets: np.ndarray,
+    span: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-span access/write counts, pfn scatter, per-segment fast counts.
+
+    ``pfn_span`` is only defined at occupied offsets (the caller reads
+    it through ``occ``/unique-offset index sets).
+    """
+    total_counts = np.bincount(off_all, minlength=span)
+    write_counts = np.bincount(off_all[is_write], minlength=span)
+    pfn_span = np.zeros(span, dtype=np.int64)
+    pfn_span[off_all] = pfn_all
+    # Per-segment fast/slow splits from per-access tier membership.
+    in_fast = pfn_all < fast_frames
+    csum = np.zeros(off_all.size + 1, dtype=np.int64)
+    np.cumsum(in_fast, out=csum[1:])
+    fast_seg = csum[offsets[1:]] - csum[offsets[:-1]]
+    return total_counts, write_counts, pfn_span, fast_seg
+
+
+def plan_segment_unique(
+    off_all: np.ndarray, offsets: np.ndarray, scratch: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted unique offsets of each segment, concatenated.
+
+    Returns ``(ucat, bounds)``: segment ``k``'s unique offsets (ascending)
+    are ``ucat[bounds[k]:bounds[k+1]]``.  ``scratch`` is a caller-owned
+    all-False bool array over the span; it is returned all-False.
+    """
+    n_seg = offsets.size - 1
+    out = np.empty(off_all.size, dtype=np.int64)
+    bounds = np.zeros(n_seg + 1, dtype=np.int64)
+    pos = 0
+    for k in range(n_seg):
+        s, e = int(offsets[k]), int(offsets[k + 1])
+        if s < e:
+            scratch[off_all[s:e]] = True
+            uoff = np.flatnonzero(scratch)
+            scratch[uoff] = False
+            out[pos:pos + uoff.size] = uoff
+            pos += uoff.size
+        bounds[k + 1] = pos
+    return out[:pos], bounds
+
+
+# -- candidate gathering (bias / policies) ---------------------------------------
+
+
+def hot_slow_candidates(
+    vpns: np.ndarray,
+    heats: np.ndarray,
+    hot_threshold: float,
+    pfn_tab: np.ndarray,
+    owner_tab: np.ndarray,
+    base: int,
+    fast_frames: int,
+    shared_tid: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Hot slow-tier promotion candidates, in the given (heat-insertion)
+    order: (vpns, heats, privately-owned mask)."""
+    hot = heats >= hot_threshold
+    vpns, heats = vpns[hot], heats[hot]
+    if vpns.size == 0:
+        return vpns, heats, np.zeros(0, dtype=bool)
+    idx = vpns - base
+    in_range = (idx >= 0) & (idx < pfn_tab.size)
+    pfns = np.full(vpns.size, -1, dtype=np.int64)
+    owners = np.full(vpns.size, -1, dtype=np.int16)
+    pfns[in_range] = pfn_tab[idx[in_range]]
+    owners[in_range] = owner_tab[idx[in_range]]
+    slow = (pfns >= 0) & (pfns >= fast_frames)
+    sel = np.flatnonzero(slow)
+    return vpns[sel], heats[sel], owners[sel] != shared_tid

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
 from repro.mm import pte as pte_mod
 from repro.mm.frame_alloc import FrameAllocator
 from repro.mm.page import PhysPage
@@ -102,6 +103,9 @@ class AddressSpace:
         self.allocator = allocator
         self.minor_faults = 0
         self.major_faults = 0
+        #: grow-only all-False span scratch reused by record_plan — the
+        #: per-segment unique pass borrows it and returns it all-False
+        self._span_scratch = np.zeros(0, dtype=bool)
 
     # -- structural access path (microbenchmarks) -------------------------
 
@@ -229,29 +233,26 @@ class AddressSpace:
 
         span = hi - lo + 1
         off_all = vpns - lo
-        total_counts = np.bincount(off_all, minlength=span)
-        write_counts = np.bincount(off_all[plan.is_write], minlength=span)
+        total_counts, write_counts, pfn_span, fast_seg = kernels.plan_span_stats(
+            off_all, plan.is_write, pfn_all, store.fast_frames, offsets, span
+        )
         occ = np.flatnonzero(total_counts)
-        pfn_span = np.zeros(span, dtype=np.int64)
-        pfn_span[off_all] = pfn_all
-
-        # Per-segment fast/slow splits from per-access tier membership.
-        in_fast = pfn_all < store.fast_frames
-        csum = np.zeros(plan.n + 1, dtype=np.int64)
-        np.cumsum(in_fast, out=csum[1:])
-        fast_seg = csum[offsets[1:]] - csum[offsets[:-1]]
 
         # Sharing transitions + tid bitmasks must run per thread, in
-        # segment order (a transition by tid 0 changes what tid 1 sees).
-        scratch = np.zeros(span, dtype=bool)
+        # segment order (a transition by tid 0 changes what tid 1 sees);
+        # the per-segment sorted-unique offsets are precomputed in one
+        # kernel pass over the reusable span scratch.
+        if self._span_scratch.size < span:
+            self._span_scratch = np.zeros(span, dtype=bool)
+        ucat, bounds = kernels.plan_segment_unique(
+            off_all, offsets, self._span_scratch[:span]
+        )
         minor = 0
         for k in range(total_seg.size):
-            s, e = int(offsets[k]), int(offsets[k + 1])
+            s, e = int(bounds[k]), int(bounds[k + 1])
             if s == e:
                 continue
-            scratch[off_all[s:e]] = True
-            uoff = np.flatnonzero(scratch)
-            scratch[uoff] = False
+            uoff = ucat[s:e]
             tid = int(plan.tids[k])
             minor += repl.bulk_note_access(uoff + lo, tid)
             store.or_tid_bit(pfn_span[uoff], tid)

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
 # Integer lifecycle codes (mirrors repro.mm.page.PageState; kept as raw
 # ints here so the store has no import cycle with the view class).
 STATE_FREE = 0
@@ -154,23 +156,14 @@ class PageStatsStore:
         """Account per-frame access counts for one thread's batch.
 
         ``pfns`` must be unique (one row per frame); counts are added
-        with plain fancy-indexed ``+=`` which is exact for unique rows.
+        one-per-row (exact for unique rows).
         """
-        self.reads[pfns] += n_reads
-        self.writes[pfns] += n_writes
-        self.epoch_reads[pfns] += n_reads
-        self.epoch_writes[pfns] += n_writes
-        self.last_access_cycle[pfns] = cycle
-        if tid < 64:
-            self.tids_lo[pfns] |= np.uint64(1 << tid)
-        else:
-            self.tids_hi[pfns] |= np.uint64(1 << (tid - 64))
-        self.touched[pfns] = True
-        # Writes landing while a transactional copy is in flight dirty
-        # the source frame (same rule as PhysPage.record_access).
-        migrating = (self.state[pfns] == STATE_MIGRATING) & (n_writes > 0)
-        if migrating.any():
-            self.dirty_since_copy[pfns[migrating]] = True
+        kernels.page_record_rows(
+            self.reads, self.writes, self.epoch_reads, self.epoch_writes,
+            self.last_access_cycle, self.touched, self.state,
+            self.dirty_since_copy, pfns, n_reads, n_writes, cycle,
+        )
+        self.or_tid_bit(pfns, tid)
 
     def or_tid_bit(self, pfns: np.ndarray, tid: int) -> None:
         """OR one thread's bit into the accessing-tid masks of ``pfns``."""
@@ -195,15 +188,11 @@ class PageStatsStore:
         every batch of an epoch, so one fused pass lands bit-identical
         to the per-batch path.
         """
-        self.reads[pfns] += n_reads
-        self.writes[pfns] += n_writes
-        self.epoch_reads[pfns] += n_reads
-        self.epoch_writes[pfns] += n_writes
-        self.last_access_cycle[pfns] = cycle
-        self.touched[pfns] = True
-        migrating = (self.state[pfns] == STATE_MIGRATING) & (n_writes > 0)
-        if migrating.any():
-            self.dirty_since_copy[pfns[migrating]] = True
+        kernels.page_record_rows(
+            self.reads, self.writes, self.epoch_reads, self.epoch_writes,
+            self.last_access_cycle, self.touched, self.state,
+            self.dirty_since_copy, pfns, n_reads, n_writes, cycle,
+        )
 
     def reset_epoch_counters(self) -> None:
         """Zero epoch counters on touched live frames (idle frames free).
@@ -213,14 +202,9 @@ class PageStatsStore:
         invisible to the PTE walk until remapped) and stay in the
         touched set so a later remap still gets them reset.
         """
-        idx = np.flatnonzero(self.touched)
-        if idx.size == 0:
-            return
-        st = self.state[idx]
-        clearable = idx[(st == STATE_MAPPED) | (st == STATE_MIGRATING)]
-        self.epoch_reads[clearable] = 0
-        self.epoch_writes[clearable] = 0
-        self.touched[clearable] = False
+        kernels.page_reset_epoch(
+            self.touched, self.state, self.epoch_reads, self.epoch_writes
+        )
 
     # -- vectorized queries ----------------------------------------------
 
@@ -259,19 +243,15 @@ class PageStatsStore:
 
     def fast_usage(self, pid: int) -> int:
         """How many fast-tier frames ``pid`` maps (PTE-walk equivalent)."""
-        pfns = self.frames_of_pid(pid)
-        return int((pfns < self.fast_frames).sum())
+        return int(kernels.pid_fast_usage(self.state, self.pid, pid, self.fast_frames))
 
     def ground_truth_hotness(self, pid: int, cut: int) -> tuple[int, int, int, int]:
         """(hot, hot∧fast, cold∧fast, fast) page counts for ``pid``."""
-        pfns = self.frames_of_pid(pid)
-        in_fast = pfns < self.fast_frames
-        is_hot = (self.epoch_reads[pfns] + self.epoch_writes[pfns]) >= cut
-        fast = int(in_fast.sum())
-        hot = int(is_hot.sum())
-        hot_fast = int((is_hot & in_fast).sum())
-        cold_fast = fast - hot_fast
-        return (hot, hot_fast, cold_fast, fast)
+        hot, hot_fast, cold_fast, fast = kernels.pid_ground_truth(
+            self.state, self.pid, self.epoch_reads, self.epoch_writes,
+            pid, self.fast_frames, cut,
+        )
+        return (int(hot), int(hot_fast), int(cold_fast), int(fast))
 
     # -- row lifecycle (attach/detach mirror PhysPage semantics) ---------
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
 from repro.profiling.heat_store import HeatStore
 
 
@@ -150,11 +151,10 @@ class Profiler:
         """Add heat mass to pages of ``pid`` (vectorized per unique page)."""
         if vpns.size == 0:
             return
-        uniq, inverse = np.unique(vpns, return_inverse=True)
-        sums = np.bincount(inverse, weights=weights)
+        ww = write_weights if write_weights is not None else np.zeros(vpns.size)
+        uniq, sums, wsums = kernels.accumulate_unique(vpns, weights, ww)
         self._heat.accumulate(pid, uniq, sums)
         if write_weights is not None:
-            wsums = np.bincount(inverse, weights=write_weights)
             written = wsums > 0.0
             if written.any():
                 self._write_heat.accumulate(pid, uniq[written], wsums[written])
@@ -202,10 +202,7 @@ class Profiler:
         """:meth:`write_fraction` vectorized over ``vpns``."""
         h = self._heat.gather(pid, vpns)
         w = self._write_heat.gather(pid, vpns)
-        out = np.zeros(vpns.size, dtype=np.float64)
-        pos = h > 0.0
-        out[pos] = np.minimum(w[pos] / h[pos], 1.0)
-        return out
+        return kernels.write_fractions(h, w)
 
     def hottest(self, pid: int, n: int) -> list[tuple[int, float]]:
         """Top-``n`` (vpn, heat) pairs, hottest first, vpn-tiebroken."""

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
 #: heat below this after decay is dropped (dict-compaction threshold)
 DECAY_FLOOR = 1e-6
 
@@ -119,15 +121,14 @@ class HeatStore:
         ph = self._pids.setdefault(pid, _PidHeat())
         ph.ensure(int(vpns[0]), int(vpns[-1]))
         idx = vpns - ph.base
-        ph.heat[idx] += sums
-        new = ~ph.live[idx]
+        new, written_min = kernels.heat_accumulate(ph.heat, ph.live, idx, sums)
         if new.any():
             order = ph.order
             for vpn in vpns[new].tolist():
                 order[vpn] = None
-            ph.live[idx[new]] = True
             ph._order_cache = None
-        ph.observe_written(idx)
+        if written_min < ph.min_live:
+            ph.min_live = written_min
 
     def add_scaled(self, pid: int, vpns: np.ndarray, heats: np.ndarray, scale: float) -> None:
         """``heat[vpn] = heat.get(vpn, 0.0) + h * scale`` in given order.
@@ -141,15 +142,14 @@ class HeatStore:
         ph = self._pids.setdefault(pid, _PidHeat())
         ph.ensure(int(vpns.min()), int(vpns.max()))
         idx = vpns - ph.base
-        ph.heat[idx] += heats * scale
-        new = ~ph.live[idx]
+        new, written_min = kernels.heat_add_scaled(ph.heat, ph.live, idx, heats, scale)
         if new.any():
             order = ph.order
             for vpn in vpns[new].tolist():
                 order[vpn] = None
-            ph.live[idx[new]] = True
             ph._order_cache = None
-        ph.observe_written(idx)
+        if written_min < ph.min_live:
+            ph.min_live = written_min
 
     def adopt_copy(self, pid: int, src: "HeatStore") -> None:
         """Replace ``pid``'s book with a copy of ``src``'s (fusion base)."""
@@ -169,14 +169,12 @@ class HeatStore:
         that keeps million-frame books at one multiply per epoch.
         """
         for ph in self._pids.values():
-            ph.heat *= decay  # non-live entries are exactly 0.0
+            kernels.heat_decay(ph.heat, decay)  # non-live entries are exactly 0.0
             ph.min_live *= decay
             if ph.min_live >= floor:
                 continue  # bound >= floor: scan provably drops nothing
-            dead_idx = np.flatnonzero(ph.live & (ph.heat < floor))
+            dead_idx = kernels.heat_compact(ph.heat, ph.live, floor)
             if dead_idx.size:
-                ph.heat[dead_idx] = 0.0
-                ph.live[dead_idx] = False
                 order = ph.order
                 for vpn in (dead_idx + ph.base).tolist():
                     del order[vpn]
@@ -184,7 +182,7 @@ class HeatStore:
             # the scan visited every live slot anyway: tighten the
             # bound to the exact survivor minimum
             if ph.order:
-                ph.min_live = float(ph.heat[ph.live].min())
+                ph.min_live = float(kernels.heat_min_live(ph.heat, ph.live))
             else:
                 ph.min_live = np.inf
 
@@ -208,14 +206,10 @@ class HeatStore:
 
     def gather(self, pid: int, vpns: np.ndarray) -> np.ndarray:
         """``heat.get(vpn, 0.0)`` vectorized over ``vpns``."""
-        out = np.zeros(vpns.size, dtype=np.float64)
         ph = self._pids.get(pid)
         if ph is None or ph.heat.size == 0:
-            return out
-        idx = vpns - ph.base
-        ok = (idx >= 0) & (idx < ph.heat.size)
-        out[ok] = ph.heat[idx[ok]]
-        return out
+            return np.zeros(vpns.size, dtype=np.float64)
+        return kernels.heat_gather(ph.heat, ph.base, vpns)
 
     def get(self, pid: int, vpn: int) -> float:
         ph = self._pids.get(pid)
@@ -290,13 +284,6 @@ class HeatStore:
         ph = self._pids.get(pid)
         if ph is None or n <= 0 or not ph.order:
             return []
-        vpns = np.flatnonzero(ph.live) + ph.base  # ascending
-        heats = ph.heat[vpns - ph.base]
-        if n < vpns.size:
-            # Keep everything tied with the k-th largest heat so the
-            # vpn tiebreak stays exact, then order the survivors.
-            kth = np.partition(heats, vpns.size - n)[vpns.size - n]
-            keep = heats >= kth
-            vpns, heats = vpns[keep], heats[keep]
+        vpns, heats = kernels.topk_live(ph.heat, ph.live, ph.base, n)
         order = np.lexsort((vpns, -heats))[:n]
         return list(zip(vpns[order].tolist(), heats[order].tolist()))

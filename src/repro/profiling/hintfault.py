@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.profiling.base import AccessBatch, Profiler
 
 #: Application-side cost of taking one hinting fault.
@@ -29,15 +30,9 @@ def _member(values: np.ndarray, sorted_ref: np.ndarray) -> np.ndarray:
     """``np.isin(values, sorted_ref)`` for an already-sorted reference.
 
     Same boolean mask, without np.isin re-sorting the reference on
-    every call.
+    every call.  Dispatches to the kernel tier.
     """
-    if sorted_ref.size == 0:
-        return np.zeros(values.shape, dtype=bool)
-    pos = np.searchsorted(sorted_ref, values)
-    in_range = pos < sorted_ref.size
-    out = np.zeros(values.shape, dtype=bool)
-    out[in_range] = sorted_ref[pos[in_range]] == values[in_range]
-    return out
+    return kernels.member_sorted(values, sorted_ref)
 
 
 class HintFaultProfiler(Profiler):

@@ -43,12 +43,27 @@ class WorkloadSpec:
 class Workload:
     """Base class; subclasses implement :meth:`_thread_vpns`."""
 
+    #: epochs of plans generated per :meth:`planned_epoch` burst.  The
+    #: harness sets this: static runs prefetch (every plan is a pure
+    #: function of (seed, epoch, spec), so building several back to
+    #: back batches the Zipf LUT sampling across epochs); the scenario
+    #: engine pins it to 1 because scripted events may reshape a
+    #: workload between epochs, and a prefetched plan would have
+    #: consumed ``issue_rate`` RNG draws the reshaped generator should
+    #: have made.
+    plan_horizon = 1
+
     def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
         self.spec = spec
         self.seed = seed
         self.pid: int | None = None
         self.vma: Vma | None = None
         self._rng = np.random.default_rng(seed)
+        #: epoch -> (issue_rate, EpochPlan) built by the current burst
+        self._plan_cache: dict[int, tuple[float, EpochPlan]] = {}
+        #: per-burst-slot reusable plan buffers (allocation-free epochs)
+        self._plan_slots: list[dict] = []
+        self._plan_tids: np.ndarray | None = None
 
     # -- harness binding -----------------------------------------------------
 
@@ -79,6 +94,9 @@ class Workload:
             setattr(self, name, value)
         if reseed is not None:
             self.seed = int(reseed)
+        # Any prefetched plans were built by the pre-reshape generator;
+        # they must not outlive it.
+        self._plan_cache.clear()
         self._on_bind()
 
     @property
@@ -144,6 +162,89 @@ class Workload:
             is_write=np.concatenate(parts_w),
             offsets=offsets,
             tids=np.arange(n_threads, dtype=np.int64),
+        )
+
+    def planned_epoch(self, epoch: int) -> tuple[float, EpochPlan]:
+        """Burst-prefetching, allocation-free variant of the harness's
+        ``issue_rate(epoch)`` + ``plan_epoch(epoch)`` pair.
+
+        On a cache miss the next ``plan_horizon`` epochs of plans are
+        built back to back into a rotating pool of reusable buffers
+        (one slot per horizon step, so a cached plan is never
+        overwritten before its epoch consumes it).  RNG draw order is
+        preserved exactly: for each prefetched epoch the harness-side
+        ``issue_rate`` draw happens first, then the plan's own internal
+        draw — the same ``A_e, B_e, A_{e+1}, B_{e+1}, ...`` sequence a
+        non-prefetching run makes.  The returned plan's arrays are
+        *views into reused buffers*: valid until ``plan_horizon``
+        further epochs have been planned, which the epoch-driven
+        harness guarantees by consuming each plan within its epoch.
+        """
+        hit = self._plan_cache.pop(epoch, None)
+        if hit is not None:
+            return hit
+        # Stale prefetch (epoch jumped, or reshape cleared the cache):
+        # drop and rebuild from here.
+        self._plan_cache.clear()
+        horizon = max(int(self.plan_horizon), 1)
+        for i in range(horizon):
+            e = epoch + i
+            issue = self.issue_rate(e)
+            self._plan_cache[e] = (issue, self._plan_into(i, e))
+        return self._plan_cache.pop(epoch)
+
+    def _plan_into(self, slot_i: int, epoch: int) -> EpochPlan:
+        """Build epoch ``epoch``'s plan into reusable buffer slot
+        ``slot_i`` — same traffic and RNG stream as :meth:`plan_epoch`,
+        without the per-epoch concatenate allocations."""
+        if self.pid is None or self.vma is None:
+            raise RuntimeError(f"workload {self.name!r} not bound to a process")
+        n = int(self.spec.accesses_per_thread * self.issue_rate(epoch))
+        nt = self.spec.n_threads
+        while len(self._plan_slots) <= slot_i:
+            self._plan_slots.append(
+                {
+                    "vpns": np.empty(0, dtype=np.int64),
+                    "writes": np.empty(0, dtype=bool),
+                    "offsets": np.zeros(nt + 1, dtype=np.int64),
+                }
+            )
+        slot = self._plan_slots[slot_i]
+        offsets = slot["offsets"]
+        if offsets.size != nt + 1:
+            offsets = slot["offsets"] = np.zeros(nt + 1, dtype=np.int64)
+        if self._plan_tids is None or self._plan_tids.size != nt:
+            self._plan_tids = np.arange(nt, dtype=np.int64)
+        offsets[0] = 0
+        if n <= 0:
+            offsets[:] = 0
+            return EpochPlan(
+                pid=self.pid,
+                vpns=slot["vpns"][:0],
+                is_write=slot["writes"][:0],
+                offsets=offsets,
+                tids=self._plan_tids,
+            )
+        cap = n * nt
+        if slot["vpns"].size < cap:
+            slot["vpns"] = np.empty(cap, dtype=np.int64)
+            slot["writes"] = np.empty(cap, dtype=bool)
+        buf_v = slot["vpns"]
+        buf_w = slot["writes"]
+        pos = 0
+        for tid in range(nt):
+            vpns, writes = self._thread_access(tid, n, epoch)
+            m = vpns.size
+            buf_v[pos : pos + m] = vpns
+            buf_w[pos : pos + m] = writes
+            pos += m
+            offsets[tid + 1] = pos
+        return EpochPlan(
+            pid=self.pid,
+            vpns=buf_v[:pos],
+            is_write=buf_w[:pos],
+            offsets=offsets,
+            tids=self._plan_tids,
         )
 
     def _thread_access(self, tid: int, n: int, epoch: int) -> tuple[np.ndarray, np.ndarray]:

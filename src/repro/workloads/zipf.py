@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
 
 class ZipfSampler:
     """Bounded Zipf(s) over ``[0, n)`` with optional permutation.
@@ -64,30 +66,11 @@ class ZipfSampler:
         the few samples whose bucket straddles a CDF step finish with a
         vectorized bisection over that (tiny) range.  The result is the
         same integer ``searchsorted`` returns for every input — callers
-        rely on that for bit-identical RNG-stream consumption.
+        rely on that for bit-identical RNG-stream consumption.  The
+        arithmetic lives in the kernel tier (both backends return the
+        exact ``searchsorted`` integer for every input).
         """
-        m = self._LUT_BUCKETS
-        b = (u * m).astype(np.int64)
-        # Float rounding in u*m can land one bucket off; nudge back so
-        # b/m <= u < (b+1)/m holds exactly (b/m is exact: m is 2**16).
-        b[u < b / m] -= 1
-        b[u >= (b + 1) / m] += 1
-        lo = self._lut[b]
-        hi = self._lut[b + 1]
-        need = lo < hi
-        if need.any():
-            cdf = self._cdf
-            lo_r, hi_r, u_r = lo[need], hi[need], u[need]
-            open_ = lo_r < hi_r
-            while open_.any():
-                mid = (lo_r + hi_r) >> 1
-                right = (cdf[np.minimum(mid, cdf.size - 1)] <= u_r) & open_
-                shrink = ~right & open_
-                lo_r[right] = mid[right] + 1
-                hi_r[shrink] = mid[shrink]
-                open_ = lo_r < hi_r
-            lo[need] = lo_r
-        return lo
+        return kernels.zipf_invert(self._cdf, self._lut, self._LUT_BUCKETS, u)
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``size`` indices in ``[0, n)``."""

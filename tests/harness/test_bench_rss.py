@@ -1,0 +1,30 @@
+"""Peak-RSS reporting: ``ru_maxrss`` unit normalization.
+
+POSIX leaves the ``ru_maxrss`` unit unspecified; Linux reports kB,
+macOS reports bytes.  The bench must report kB on both, or cross-OS
+baseline comparisons are 1024× off.
+"""
+
+from __future__ import annotations
+
+from repro.harness.bench import _normalize_maxrss, peak_rss_kb
+
+
+def test_linux_maxrss_is_already_kb():
+    assert _normalize_maxrss(51_888, "linux") == 51_888
+
+
+def test_darwin_maxrss_is_bytes():
+    assert _normalize_maxrss(51_888 * 1024, "darwin") == 51_888
+    assert _normalize_maxrss(1_023, "darwin") == 0  # sub-kB rounds down
+
+
+def test_other_platforms_pass_through():
+    # *BSDs follow the kB convention; pass through untouched.
+    assert _normalize_maxrss(12_345, "freebsd14") == 12_345
+
+
+def test_peak_rss_kb_is_plausible_for_this_process():
+    kb = peak_rss_kb()
+    # A running CPython with numpy loaded: >10 MB, <100 GB.
+    assert 10_000 < kb < 100_000_000

@@ -1,0 +1,281 @@
+"""Per-kernel unit tests against independent numpy oracles.
+
+Parametrized over every importable backend: the numpy reference always,
+the numba mirror when the ``repro[fast]`` extra is installed — so the
+CI fast leg proves each compiled kernel against the same oracle, not
+just against the reference backend end to end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.kernels import np_backend
+
+_BACKENDS = {"python": np_backend}
+if importlib.util.find_spec("numba") is not None:
+    from repro.kernels import nb_backend
+
+    _BACKENDS["numba"] = nb_backend
+
+
+@pytest.fixture(params=sorted(_BACKENDS), ids=sorted(_BACKENDS))
+def be(request):
+    return _BACKENDS[request.param]
+
+
+def _rng():
+    return np.random.default_rng(42)
+
+
+# -- zipf ------------------------------------------------------------------------
+
+
+def test_zipf_invert_matches_searchsorted(be):
+    from repro.workloads.zipf import ZipfSampler
+
+    s = ZipfSampler(n=5000, s=0.99)
+    u = _rng().random(20_000)
+    got = be.zipf_invert(s._cdf, s._lut, s._LUT_BUCKETS, u)
+    want = np.searchsorted(s._cdf, u, side="right")
+    np.testing.assert_array_equal(got, want)
+
+
+# -- page store ------------------------------------------------------------------
+
+
+def test_page_record_rows_oracle(be):
+    rng = _rng()
+    n = 64
+    reads = rng.integers(0, 50, n).astype(np.int64)
+    writes = rng.integers(0, 50, n).astype(np.int64)
+    er = np.zeros(n, dtype=np.int64)
+    ew = np.zeros(n, dtype=np.int64)
+    lac = np.zeros(n, dtype=np.int64)
+    touched = np.zeros(n, dtype=bool)
+    state = rng.integers(0, 4, n).astype(np.int8)
+    dirty = np.zeros(n, dtype=bool)
+    pfns = rng.permutation(n)[:20].astype(np.int64)
+    nr = rng.integers(0, 9, 20).astype(np.int64)
+    nw = rng.integers(0, 9, 20).astype(np.int64)
+
+    exp = [a.copy() for a in (reads, writes, er, ew, lac, touched, dirty)]
+    for i, p in enumerate(pfns):
+        exp[0][p] += nr[i]
+        exp[1][p] += nw[i]
+        exp[2][p] += nr[i]
+        exp[3][p] += nw[i]
+        exp[4][p] = 99
+        exp[5][p] = True
+        if state[p] == 2 and nw[i] > 0:
+            exp[6][p] = True
+
+    be.page_record_rows(reads, writes, er, ew, lac, touched, state, dirty, pfns, nr, nw, 99)
+    for got, want in zip((reads, writes, er, ew, lac, touched, dirty), exp):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_page_reset_epoch_only_clears_touched_live_rows(be):
+    n = 32
+    rng = _rng()
+    touched = rng.random(n) < 0.5
+    state = rng.integers(0, 4, n).astype(np.int8)
+    er = rng.integers(1, 9, n).astype(np.int64)
+    ew = rng.integers(1, 9, n).astype(np.int64)
+    t0, s0, er0, ew0 = touched.copy(), state.copy(), er.copy(), ew.copy()
+    be.page_reset_epoch(touched, state, er, ew)
+    for i in range(n):
+        if t0[i] and s0[i] in (1, 2):
+            assert er[i] == 0 and ew[i] == 0 and not touched[i]
+        else:
+            assert er[i] == er0[i] and ew[i] == ew0[i] and touched[i] == t0[i]
+    np.testing.assert_array_equal(state, s0)
+
+
+def test_pid_usage_and_ground_truth(be):
+    rng = _rng()
+    n = 200
+    state = rng.integers(0, 4, n).astype(np.int8)
+    pid_col = rng.integers(100, 104, n).astype(np.int64)
+    er = rng.integers(0, 6, n).astype(np.int64)
+    ew = rng.integers(0, 6, n).astype(np.int64)
+    fast_frames, pid, cut = 80, 101, 4
+    live = (state == 1) | (state == 2)
+    mine = np.flatnonzero(live & (pid_col == pid))
+    want_fast = int((mine < fast_frames).sum())
+    assert be.pid_fast_usage(state, pid_col, pid, fast_frames) == want_fast
+    hot = (er[mine] + ew[mine]) >= cut
+    got = be.pid_ground_truth(state, pid_col, er, ew, pid, fast_frames, cut)
+    want_hf = int((hot & (mine < fast_frames)).sum())
+    assert tuple(int(x) for x in got) == (
+        int(hot.sum()), want_hf, want_fast - want_hf, want_fast,
+    )
+
+
+# -- heat store ------------------------------------------------------------------
+
+
+def test_heat_accumulate_reports_new_and_min(be):
+    heat = np.zeros(10)
+    live = np.zeros(10, dtype=bool)
+    live[3] = True
+    heat[3] = 2.0
+    idx = np.array([3, 5, 7], dtype=np.int64)
+    sums = np.array([1.0, 4.0, 0.5])
+    new, mn = be.heat_accumulate(heat, live, idx, sums)
+    np.testing.assert_array_equal(new, [False, True, True])
+    assert live[[3, 5, 7]].all()
+    np.testing.assert_allclose(heat[[3, 5, 7]], [3.0, 4.0, 0.5])
+    assert mn == 0.5
+
+
+def test_heat_add_scaled(be):
+    heat = np.zeros(6)
+    live = np.zeros(6, dtype=bool)
+    idx = np.array([1, 4], dtype=np.int64)
+    new, mn = be.heat_add_scaled(heat, live, idx, np.array([2.0, 8.0]), 0.25)
+    np.testing.assert_allclose(heat[[1, 4]], [0.5, 2.0])
+    assert new.all() and mn == 0.5
+
+
+def test_heat_decay_compact_min(be):
+    heat = np.array([0.0, 4.0, 0.1, 2.0])
+    live = np.array([False, True, True, True])
+    be.heat_decay(heat, 0.5)
+    np.testing.assert_allclose(heat, [0.0, 2.0, 0.05, 1.0])
+    dead = be.heat_compact(heat, live, 0.5)
+    np.testing.assert_array_equal(dead, [2])
+    assert heat[2] == 0.0 and not live[2]
+    assert be.heat_min_live(heat, live) == 1.0
+    assert be.heat_min_live(heat, np.zeros(4, dtype=bool)) == np.inf
+
+
+def test_heat_gather_out_of_range_is_zero(be):
+    heat = np.array([1.0, 2.0, 3.0])
+    got = be.heat_gather(heat, 100, np.array([99, 100, 102, 103], dtype=np.int64))
+    np.testing.assert_allclose(got, [0.0, 1.0, 3.0, 0.0])
+
+
+def test_topk_live_keeps_kth_ties(be):
+    heat = np.array([5.0, 1.0, 5.0, 3.0, 0.0, 2.0])
+    live = np.array([True, True, True, True, False, True])
+    vpns, heats = be.topk_live(heat, live, 10, 2)
+    # everything tied with the 2nd-largest (5.0) survives, ascending vpn
+    np.testing.assert_array_equal(vpns, [10, 12])
+    np.testing.assert_allclose(heats, [5.0, 5.0])
+    vpns_all, _ = be.topk_live(heat, live, 10, 99)
+    np.testing.assert_array_equal(vpns_all, [10, 11, 12, 13, 15])
+
+
+# -- profiler helpers ------------------------------------------------------------
+
+
+def test_accumulate_unique_matches_dict_oracle(be):
+    rng = _rng()
+    vpns = rng.integers(0, 40, 500).astype(np.int64)
+    w = rng.random(500)
+    ww = rng.random(500) * (rng.random(500) < 0.3)
+    uniq, sums, wsums = be.accumulate_unique(vpns, w, ww)
+    ref_u, inv = np.unique(vpns, return_inverse=True)
+    np.testing.assert_array_equal(uniq, ref_u)
+    np.testing.assert_array_equal(sums, np.bincount(inv, weights=w))
+    np.testing.assert_array_equal(wsums, np.bincount(inv, weights=ww))
+
+
+def test_member_sorted_matches_isin(be):
+    rng = _rng()
+    ref = np.unique(rng.integers(0, 100, 30).astype(np.int64))
+    vals = rng.integers(-10, 120, 200).astype(np.int64)
+    np.testing.assert_array_equal(be.member_sorted(vals, ref), np.isin(vals, ref))
+    assert not be.member_sorted(vals, np.empty(0, dtype=np.int64)).any()
+
+
+def test_write_fractions(be):
+    h = np.array([0.0, 2.0, 4.0, 1.0])
+    w = np.array([1.0, 1.0, 8.0, 0.0])
+    np.testing.assert_allclose(be.write_fractions(h, w), [0.0, 0.5, 1.0, 0.0])
+
+
+# -- plan execution --------------------------------------------------------------
+
+
+def _plan_fixture():
+    rng = _rng()
+    offsets = np.array([0, 40, 40, 100], dtype=np.int64)
+    off_all = rng.integers(0, 30, 100).astype(np.int64)
+    is_write = rng.random(100) < 0.4
+    pfn_all = (off_all * 7 + 3).astype(np.int64)  # one pfn per offset
+    return off_all, is_write, pfn_all, offsets
+
+
+def test_plan_span_stats_oracle(be):
+    off_all, is_write, pfn_all, offsets = _plan_fixture()
+    span, fast_frames = 30, 100
+    total, wc, pfn_span, fast_seg = be.plan_span_stats(
+        off_all, is_write, pfn_all, fast_frames, offsets, span
+    )
+    np.testing.assert_array_equal(total, np.bincount(off_all, minlength=span))
+    np.testing.assert_array_equal(wc, np.bincount(off_all[is_write], minlength=span))
+    np.testing.assert_array_equal(pfn_span[off_all], pfn_all)
+    want_fast = [
+        int((pfn_all[s:e] < fast_frames).sum())
+        for s, e in zip(offsets[:-1], offsets[1:])
+    ]
+    np.testing.assert_array_equal(fast_seg, want_fast)
+
+
+def test_plan_segment_unique_oracle(be):
+    off_all, _, _, offsets = _plan_fixture()
+    scratch = np.zeros(30, dtype=bool)
+    ucat, bounds = be.plan_segment_unique(off_all, offsets, scratch)
+    assert not scratch.any(), "scratch must be returned all-False"
+    assert bounds[0] == 0 and bounds.size == offsets.size
+    for k in range(offsets.size - 1):
+        seg = off_all[offsets[k] : offsets[k + 1]]
+        np.testing.assert_array_equal(ucat[bounds[k] : bounds[k + 1]], np.unique(seg))
+
+
+# -- candidate gathering ---------------------------------------------------------
+
+
+def test_hot_slow_candidates_oracle(be):
+    rng = _rng()
+    base, n_pages, fast_frames, shared = 1000, 60, 25, 255
+    pfn_tab = rng.permutation(50).astype(np.int64)
+    pfn_tab = np.concatenate([pfn_tab, np.full(10, -1, dtype=np.int64)])
+    owner_tab = rng.integers(0, 3, n_pages).astype(np.int16)
+    owner_tab[rng.random(n_pages) < 0.3] = shared
+    vpns = base + rng.permutation(n_pages)[:40].astype(np.int64)
+    vpns[:4] = base - 5  # out-of-range vpns must be dropped
+    heats = rng.random(40) * 20
+    got_v, got_h, got_p = be.hot_slow_candidates(
+        vpns, heats, 10.0, pfn_tab, owner_tab, base, fast_frames, shared
+    )
+    exp = []
+    for v, h in zip(vpns.tolist(), heats.tolist()):
+        if h < 10.0:
+            continue
+        i = v - base
+        if not (0 <= i < n_pages) or pfn_tab[i] < 0 or pfn_tab[i] < fast_frames:
+            continue
+        exp.append((v, h, owner_tab[i] != shared))
+    np.testing.assert_array_equal(got_v, [e[0] for e in exp])
+    np.testing.assert_allclose(got_h, [e[1] for e in exp])
+    np.testing.assert_array_equal(got_p, [e[2] for e in exp])
+
+
+def test_empty_inputs(be):
+    e_i = np.empty(0, dtype=np.int64)
+    e_f = np.empty(0, dtype=np.float64)
+    e_b = np.empty(0, dtype=bool)
+    uniq, sums, wsums = be.accumulate_unique(e_i, e_f, e_f)
+    assert uniq.size == sums.size == wsums.size == 0
+    v, h, p = be.hot_slow_candidates(
+        e_i, e_f, 1.0, np.zeros(4, dtype=np.int64), np.zeros(4, dtype=np.int16), 0, 2, 255
+    )
+    assert v.size == h.size == p.size == 0
+    assert be.heat_gather(np.zeros(3), 0, e_i).size == 0
+    assert be.member_sorted(e_i, np.array([1], dtype=np.int64)).size == 0
