@@ -53,6 +53,16 @@ Commands
         python -m repro fuzz --runs 25 --seed 7 --json
         python -m repro fuzz --runs 100 --workers 4 --promote
         python -m repro fuzz --replay tests/golden/fuzz_regressions
+        python -m repro fuzz --fleet --runs 25 --promote
+
+``fleet``
+    Simulated multi-node cluster: each node runs the single-box stack
+    unchanged while a global placer assigns and live-migrates workloads
+    using per-node CBFRP credit balances::
+
+        python -m repro fleet list
+        python -m repro fleet run balanced_trio --json
+        python -m repro fleet run drain_rebalance --workers 4 --check
 
 ``run``/``compare``/``sweep`` also accept ``--json`` for
 machine-readable output instead of rendered tables.
@@ -303,6 +313,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{jobs['deduped']} deduped, {jobs['cache_hits']} cache hits, "
             f"{jobs['failed']} failed)"
         )
+    elif args.fleet:
+        from repro.harness.bench import run_fleet_bench
+
+        payload = run_fleet_bench(quick=args.quick)
+        out = Path("BENCH_fleet.json" if args.output == _BENCH_DEFAULT_OUTPUT else args.output)
+        timing, sim = payload["timing"], payload["simulated"]
+        print(
+            f"{sim['node_epochs']} node-epochs in {timing['wall_seconds']:.2f}s "
+            f"({timing['node_epochs_per_sec']:.2f} node-epochs/sec, "
+            f"evacuation p99 {sim['evacuation_p99_cycles']:.3g} cycles, "
+            f"peak RSS {timing['peak_rss_kb']} kB)"
+        )
     else:
         bench = run_bench(quick=args.quick, scenario=args.scenario)
         payload = bench.to_dict()
@@ -441,6 +463,130 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     except ServiceError as exc:
         print(f"service error: {exc}", file=sys.stderr)
         return 1
+
+
+# -- fleet -----------------------------------------------------------------------
+
+def _load_fleet_spec(args: argparse.Namespace):
+    from repro.fleet import FleetSpec, FleetSpecError, get_fleet_scenario
+
+    if bool(args.name) == bool(args.spec):
+        raise SystemExit("fleet run: give a canned NAME or --spec FILE (not both)")
+    try:
+        if args.spec:
+            return FleetSpec.from_json(args.spec)
+        return get_fleet_scenario(args.name)
+    except OSError as exc:
+        raise SystemExit(f"cannot read --spec file: {exc}")
+    except (json.JSONDecodeError, FleetSpecError, KeyError, TypeError) as exc:
+        raise SystemExit(f"invalid fleet spec: {exc}")
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetSpecError, run_fleet
+    from repro.fuzz.oracle import InvariantViolation
+    from repro.harness.recipes import fleet_summary_json
+
+    spec = _load_fleet_spec(args)
+    overrides = {
+        k: v
+        for k, v in (("policy", args.policy), ("placer", args.placer), ("seed", args.seed))
+        if v is not None
+    }
+    if overrides:
+        try:
+            spec = spec.with_overrides(**overrides)
+        except FleetSpecError as exc:
+            raise SystemExit(f"invalid override: {exc}")
+    tracer = get_tracer()
+    if args.trace:
+        _check_trace_path(args.trace)
+        tracer.enable()
+    try:
+        try:
+            res = run_fleet(spec, workers=args.workers, check=args.check)
+        except InvariantViolation as exc:
+            print(f"CHECK FAIL: {exc}", file=sys.stderr)
+            return 1
+        if args.trace:
+            n = write_chrome_trace(tracer.events(), args.trace)
+            print(f"wrote {n} trace events to {args.trace}", file=sys.stderr)
+    finally:
+        if args.trace:
+            tracer.disable()
+    if args.json:
+        print(json.dumps(fleet_summary_json(res), indent=2))
+        if args.check:
+            print("all fleet checks passed", file=sys.stderr)
+        return 0
+    s = res.summary()
+    rows = []
+    for r in res.rounds:
+        per_node = {n: 0 for n in r["active"]}
+        for node in r["assignment"].values():
+            per_node[node] += 1
+        rows.append([
+            r["round"],
+            len(r["active"]),
+            " ".join(f"{n}:{per_node[n]}" for n in sorted(per_node)),
+            r["score"],
+            "-" if r["vs_oracle"] is None else f"{r['vs_oracle']:.3f}",
+        ])
+    print(render_table(
+        ["round", "nodes", "workloads per node", "score", "vs oracle"],
+        rows,
+        title=(
+            f"fleet={s['fleet']} placer={s['placer']} policy={s['policy']} "
+            f"seed={s['seed']} workers={args.workers}"
+        ),
+        float_fmt="{:.3g}",
+    ))
+    if res.moves:
+        print()
+        print(render_table(
+            ["round", "workload", "from", "to", "pages", "cycles", "reason"],
+            [[m.round, m.key, m.src or "-", m.dst, m.pages, m.cycles, m.reason]
+             for m in res.moves],
+            title="cross-node moves",
+        ))
+    print(
+        f"\nfleet CFI {s['fleet_cfi']:.3f}, per-node CFI spread "
+        f"{s['node_cfi_spread']:.3f}, placement score {s['placement_score']:.3f}"
+        + ("" if s["vs_oracle"] is None else f" ({s['vs_oracle']:.1%} of oracle)")
+    )
+    print(
+        f"{s['placements']} placements, {s['migrations']} migrations, "
+        f"{s['evacuations']} evacuations, evacuation p99 "
+        f"{s['evacuation_p99_cycles']:.3g} cycles"
+    )
+    if args.check:
+        print("all fleet checks passed", file=sys.stderr)
+    return 0
+
+
+def cmd_fleet_list(args: argparse.Namespace) -> int:
+    from repro.fleet import FLEET_SCENARIOS
+
+    rows = []
+    for name in sorted(FLEET_SCENARIOS):
+        spec = FLEET_SCENARIOS[name]()
+        rows.append([
+            name,
+            len(spec.nodes),
+            len(spec.workloads),
+            spec.n_rounds,
+            spec.epochs_per_round,
+            len(spec.events),
+            spec.placer,
+            spec.description,
+        ])
+    print(render_table(
+        ["name", "nodes", "workloads", "rounds", "epochs/round", "events", "placer",
+         "description"],
+        rows,
+        title="canned fleet scenarios (repro fleet run NAME)",
+    ))
+    return 0
 
 
 # -- scenario --------------------------------------------------------------------
@@ -584,15 +730,43 @@ def cmd_scenario_list(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     import time
 
-    from repro.fuzz.promote import iter_crashers, load_crasher
-    from repro.fuzz.runner import campaign, case_finding
+    from repro.fuzz.promote import (
+        iter_crashers,
+        iter_fleet_crashers,
+        load_crasher,
+        load_fleet_crasher,
+    )
+    from repro.fuzz.runner import campaign, case_finding, fleet_campaign, fleet_case_finding
 
     if args.replay is not None:
-        paths = iter_crashers(args.replay)
+        if args.fleet:
+            paths = iter_fleet_crashers(args.replay)
+            loader, prober = load_fleet_crasher, fleet_case_finding
+        else:
+            paths = iter_crashers(args.replay)
+            loader, prober = load_crasher, case_finding
         results = []
         for p in paths:
-            case, violation = load_crasher(p)
-            finding = case_finding(case)
+            if args.fleet:
+                from repro.fleet.events import FleetSpecError
+
+                try:
+                    case, violation = loader(p)
+                except FleetSpecError as exc:
+                    # the spec this crasher needed is now rejected up
+                    # front — the crash is unreachable, i.e. fixed
+                    data = json.loads(p.read_text())
+                    results.append({
+                        "file": p.name,
+                        "original_check": data["violation"]["check"],
+                        "status": "fixed",
+                        "finding": None,
+                        "note": f"spec now rejected at validation: {exc}",
+                    })
+                    continue
+            else:
+                case, violation = loader(p)
+            finding = prober(case)
             results.append({
                 "file": p.name,
                 "original_check": violation["check"],
@@ -618,15 +792,24 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 0 if green else 1
 
     t0 = time.monotonic()
-    report = campaign(
-        seed=args.seed,
-        runs=args.runs,
-        max_epochs=args.max_epochs,
-        workers=args.workers,
-        shrink=not args.no_shrink,
-        promote_dir=args.promote,
-        log=lambda msg: print(msg, file=sys.stderr),
-    )
+    if args.fleet:
+        report = fleet_campaign(
+            seed=args.seed,
+            runs=args.runs,
+            workers=args.workers,
+            promote_dir=args.promote,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+    else:
+        report = campaign(
+            seed=args.seed,
+            runs=args.runs,
+            max_epochs=args.max_epochs,
+            workers=args.workers,
+            shrink=not args.no_shrink,
+            promote_dir=args.promote,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
     elapsed = time.monotonic() - t0
     if args.json:
         # the report itself carries no wall-clock, so it is bit-identical
@@ -845,11 +1028,44 @@ def build_parser() -> argparse.ArgumentParser:
     sc_list = scsub.add_parser("list", help="list canned scenarios")
     sc_list.set_defaults(func=cmd_scenario_list)
 
+    fleet = sub.add_parser(
+        "fleet", help="multi-node fair tiering under a global CBFRP-aware placer")
+    flsub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fl_run = flsub.add_parser("run", help="run a fleet scenario and report fleet-wide fairness")
+    fl_run.add_argument("name", nargs="?", default=None,
+                        help="canned fleet scenario name (see `repro fleet list`)")
+    fl_run.add_argument("--spec", metavar="FILE", default=None,
+                        help="JSON FleetSpec file instead of a canned name")
+    fl_run.add_argument("--placer", default=None,
+                        choices=["greedy-free-dram", "credit-balance", "oracle"],
+                        help="override the spec's placement policy")
+    fl_run.add_argument("--policy", default=None, choices=sorted(POLICY_REGISTRY),
+                        help="override the per-node tiering policy")
+    fl_run.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    fl_run.add_argument("--workers", type=int, default=1,
+                        help="shard node rounds across worker processes "
+                             "(results bit-identical to --workers 1)")
+    fl_run.add_argument("--json", action="store_true",
+                        help="emit the full FleetResult as JSON")
+    fl_run.add_argument("--trace", metavar="PATH", default=None,
+                        help="capture fleet events (placements, migrations, evacuations) "
+                             "as a Chrome trace")
+    fl_run.add_argument("--check", action="store_true",
+                        help="run per-node invariant oracles plus the cross-node "
+                             "frame-conservation check; exit 1 on violation")
+    fl_run.set_defaults(func=cmd_fleet_run)
+    fl_list = flsub.add_parser("list", help="list canned fleet scenarios")
+    fl_list.set_defaults(func=cmd_fleet_list)
+
     fuzz = sub.add_parser(
         "fuzz", help="property-based scenario fuzzing with an invariant oracle")
     fuzz.add_argument("--seed", type=int, default=7,
                       help="campaign master seed (same seed => identical run list and report)")
     fuzz.add_argument("--runs", type=int, default=25, help="number of generated cases")
+    fuzz.add_argument("--fleet", action="store_true",
+                      help="fuzz multi-node fleets (drain/join/flash-crowd "
+                           "timelines) instead of single-node scenarios; with "
+                           "--replay, replays fleet_crasher_*.json files")
     fuzz.add_argument("--max-epochs", type=int, default=24,
                       help="upper bound on generated timeline length")
     fuzz.add_argument("--workers", type=int, default=1,
@@ -881,6 +1097,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--service", action="store_true",
                        help="load-test the job service instead of the simulator "
                             "(boots a private server, mixed concurrent workload)")
+    bench.add_argument("--fleet", action="store_true",
+                       help="time the pinned fleet scenario (drain_rebalance) instead: "
+                            "node-epochs/sec + evacuation p99 (writes BENCH_fleet.json)")
     bench.add_argument("--clients", type=int, default=None,
                        help="concurrent load-gen clients (--service only)")
     bench.add_argument("--jobs-per-client", type=int, default=None, dest="jobs_per_client",
@@ -911,7 +1130,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser("submit", help="submit a job to a running service")
-    submit.add_argument("kind", choices=["run", "sweep", "scenario"])
+    submit.add_argument("kind", choices=["run", "sweep", "scenario", "fleet"])
     submit.add_argument("--url", default="http://127.0.0.1:8787",
                         help="service base URL (default http://127.0.0.1:8787)")
     submit.add_argument("--payload", metavar="JSON", default=None,

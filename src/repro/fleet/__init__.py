@@ -1,0 +1,34 @@
+"""Fleet layer: many nodes, one scheduler (DESIGN.md §7).
+
+A simulated cluster of N nodes — each an unchanged single-box
+machine/policy/scenario stack — under a global placer that assigns and
+live-migrates workloads across nodes using per-node CBFRP credit
+balances and FTHR telemetry.  Nodes advance in lock-step *sync rounds*;
+each node-round is a pure recipe cell, which is what lets the fleet
+shard nodes across processes (``harness.parallel``) while keeping the
+serial ≡ parallel bit-identical determinism contract.
+"""
+
+from repro.fleet.events import FLEET_ACTIONS, FleetEvent
+from repro.fleet.experiment import FleetExperiment, FleetResult, run_fleet
+from repro.fleet.library import FLEET_SCENARIOS, fleet_scenario_names, get_fleet_scenario
+from repro.fleet.metrics import oracle_assignment, placement_score
+from repro.fleet.placer import PLACER_REGISTRY
+from repro.fleet.spec import FleetSpec, FleetSpecError, NodeDef
+
+__all__ = [
+    "FLEET_ACTIONS",
+    "FLEET_SCENARIOS",
+    "FleetEvent",
+    "FleetExperiment",
+    "FleetResult",
+    "FleetSpec",
+    "FleetSpecError",
+    "NodeDef",
+    "PLACER_REGISTRY",
+    "fleet_scenario_names",
+    "get_fleet_scenario",
+    "oracle_assignment",
+    "placement_score",
+    "run_fleet",
+]

@@ -1,0 +1,147 @@
+"""Cross-node fleet events: drains, joins, flash crowds.
+
+Fleet events are stamped with a *sync round*, not an epoch — they are
+dispatched by the :class:`~repro.fleet.experiment.FleetExperiment`
+between rounds, before the placer runs, so a drained node's workloads
+are evacuated and re-placed in the same round the drain lands.
+
+The validation walk mirrors ``ScenarioSpec.validate``: it replays the
+timeline against an explicit active-node state machine so an invalid
+script (draining the last node, joining a node that never left the
+pending set) fails at spec construction, never mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: every cross-node action the fleet loop dispatches
+FLEET_ACTIONS = ("node_drain", "node_join", "flash_crowd")
+
+
+class FleetSpecError(ValueError):
+    """A fleet spec (or its event timeline) failed validation."""
+
+
+def _is_int(x) -> bool:
+    """A real integer (bools masquerade as ints and must not count)."""
+    return isinstance(x, (int, np.integer)) and not isinstance(x, bool)
+
+
+def _is_number(x) -> bool:
+    return _is_int(x) or isinstance(x, (float, np.floating))
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One scripted cross-node event, applied at the start of ``round``."""
+
+    round: int
+    action: str
+    node: str | None = None
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round,
+            "action": self.action,
+            "node": self.node,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetEvent":
+        return cls(**data)
+
+
+def validate_timeline(
+    node_ids: list[str],
+    events: tuple[FleetEvent, ...],
+    n_rounds: int,
+    *,
+    n_workloads: int = 0,
+    slots_per_node: int | None = None,
+) -> set[str]:
+    """Replay the event timeline; returns the set of initially active nodes.
+
+    A node referenced by a ``node_join`` event starts *inactive* and
+    comes online at that round; every other node is active from round 0.
+    Raises :class:`FleetSpecError` on any illegal script: unknown nodes,
+    double drains, joining an already-active node, or an active set that
+    ever empties (the placer would have nowhere to put anything).
+
+    With ``slots_per_node`` set, additionally requires that after every
+    round's events the active nodes offer at least ``n_workloads``
+    workload slots — a drain that strands more workloads than the
+    survivors have dedicated core blocks for must fail here, at spec
+    construction, not as a core-exhaustion crash inside a node cell.
+    """
+    known = set(node_ids)
+    pending_join = {ev.node for ev in events if ev.action == "node_join"}
+    unknown = pending_join - known
+    if unknown:
+        raise FleetSpecError(f"node_join references unknown node(s): {sorted(unknown)}")
+    initially_active = known - pending_join
+    if not initially_active:
+        raise FleetSpecError("every node is pending a node_join; nothing is active at round 0")
+
+    active = set(initially_active)
+    for ev in sorted(events, key=lambda e: (e.round, e.action, e.node or "")):
+        where = f"event @round {ev.round} {ev.action}"
+        if not _is_int(ev.round):
+            raise FleetSpecError(f"{where}: round must be an integer, got {ev.round!r}")
+        if not 0 < ev.round < n_rounds:
+            # round 0 placement is the initial assignment; events start at 1
+            raise FleetSpecError(f"{where}: round outside [1, {n_rounds})")
+        if ev.action not in FLEET_ACTIONS:
+            raise FleetSpecError(f"{where}: unknown action (pick from {FLEET_ACTIONS})")
+        if ev.node not in known:
+            raise FleetSpecError(f"{where}: unknown node {ev.node!r}")
+        if ev.action == "node_drain":
+            if ev.node not in active:
+                raise FleetSpecError(f"{where}: {ev.node} is not active")
+            active.discard(ev.node)
+            if not active:
+                raise FleetSpecError(f"{where}: draining {ev.node} empties the fleet")
+        elif ev.action == "node_join":
+            if ev.node in active:
+                raise FleetSpecError(f"{where}: {ev.node} is already active")
+            active.add(ev.node)
+        elif ev.action == "flash_crowd":
+            if ev.node not in active:
+                raise FleetSpecError(f"{where}: flash crowd targets inactive node {ev.node}")
+            factor = ev.params.get("factor")
+            if not _is_number(factor) or not factor > 1.0:
+                raise FleetSpecError(f"{where}: params.factor must be a number > 1, got {factor!r}")
+            rounds = ev.params.get("rounds", 1)
+            if not _is_int(rounds) or rounds <= 0:
+                raise FleetSpecError(f"{where}: params.rounds must be a positive int, got {rounds!r}")
+
+    if slots_per_node is not None and n_workloads > 0:
+        # Hosting feasibility at every placement point: the placer runs
+        # after each round's events, so only the post-dispatch active
+        # sets (and round 0) need the capacity to host everything.
+        def _check_hosting(active_set: set[str], when: str) -> None:
+            slots = len(active_set) * slots_per_node
+            if slots < n_workloads:
+                raise FleetSpecError(
+                    f"{when}: {len(active_set)} active node(s) offer {slots} "
+                    f"workload slots ({slots_per_node}/node) for "
+                    f"{n_workloads} workloads"
+                )
+
+        active = set(initially_active)
+        _check_hosting(active, "round 0")
+        by_round: dict[int, list[FleetEvent]] = {}
+        for ev in events:
+            by_round.setdefault(ev.round, []).append(ev)
+        for rnd in sorted(by_round):
+            for ev in sorted(by_round[rnd], key=lambda e: (e.action, e.node or "")):
+                if ev.action == "node_drain":
+                    active.discard(ev.node)
+                elif ev.action == "node_join":
+                    active.add(ev.node)
+            _check_hosting(active, f"after round {rnd} events")
+    return initially_active

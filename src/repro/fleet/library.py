@@ -1,0 +1,116 @@
+"""Canned fleet scenarios (DESIGN.md §7, README "Running a fleet").
+
+Sized for CI like the single-box scenario library: small nodes (4 GiB
+fast tier ≈ 429 frames), small access budgets, and combined workload
+RSS deliberately close to total fleet capacity so the placer's choices
+actually matter.  Every spec keeps node-count^workload-count under
+``ORACLE_MAX_ASSIGNMENTS`` so placement-quality-vs-oracle is reported
+for each round.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.events import FleetEvent
+from repro.fleet.spec import FleetSpec, NodeDef
+from repro.scenario.spec import WorkloadDef
+
+
+def _wl(key: str, kind: str, service: str, rss: int) -> WorkloadDef:
+    return WorkloadDef(
+        key=key, kind=kind, service=service, rss_pages=rss,
+        n_threads=2, accesses_per_thread=800,
+    )
+
+
+def _six_pack() -> tuple[WorkloadDef, ...]:
+    """Six workloads (3 LC, 3 BE) totalling ~1290 pages."""
+    return (
+        _wl("mc-a", "memcached", "LC", 320),
+        _wl("mc-b", "memcached", "LC", 240),
+        _wl("ms-a", "microbench", "LC", 150),
+        _wl("pr-a", "pagerank", "BE", 260),
+        _wl("ll-a", "liblinear", "BE", 200),
+        _wl("ll-b", "liblinear", "BE", 120),
+    )
+
+
+def balanced_trio() -> FleetSpec:
+    """Three equal nodes, six workloads, no events.
+
+    The calibration fleet: static demand, so a good placer should land
+    near the oracle in round 0 and never migrate after that.
+    """
+    return FleetSpec(
+        name="balanced_trio",
+        description="3 equal nodes, 6 workloads, static demand",
+        n_rounds=4,
+        epochs_per_round=3,
+        nodes=(NodeDef("n0", 4.0), NodeDef("n1", 4.0), NodeDef("n2", 4.0)),
+        workloads=_six_pack(),
+        seed=1,
+    ).validate()
+
+
+def drain_rebalance() -> FleetSpec:
+    """A node drains mid-run; a spare joins two rounds later.
+
+    The evacuation fleet: round 2 drains ``n1`` (its residents must be
+    re-placed the same round, paying the modeled cross-node cost) and
+    round 4 brings the spare ``n3`` online for the placer to exploit.
+    """
+    return FleetSpec(
+        name="drain_rebalance",
+        description="drain n1 at round 2, spare n3 joins at round 4",
+        n_rounds=6,
+        epochs_per_round=3,
+        nodes=(NodeDef("n0", 4.0), NodeDef("n1", 4.0),
+               NodeDef("n2", 4.0), NodeDef("n3", 4.0)),
+        workloads=_six_pack(),
+        events=(
+            FleetEvent(round=2, action="node_drain", node="n1"),
+            FleetEvent(round=4, action="node_join", node="n3"),
+        ),
+        seed=1,
+    ).validate()
+
+
+def flash_crowd_fleet() -> FleetSpec:
+    """One node's residents double their demand for two rounds.
+
+    The rebalance fleet: the crowd makes whichever node hosts the
+    targeted workloads oversubscribed, so a credit-aware placer should
+    shed load while the greedy baseline just eats the unfairness.
+    """
+    return FleetSpec(
+        name="flash_crowd_fleet",
+        description="residents of n0 double demand for rounds 2-3",
+        n_rounds=5,
+        epochs_per_round=3,
+        nodes=(NodeDef("n0", 4.0), NodeDef("n1", 4.0), NodeDef("n2", 4.0)),
+        workloads=_six_pack(),
+        events=(
+            FleetEvent(round=2, action="flash_crowd", node="n0",
+                       params={"factor": 2.0, "rounds": 2}),
+        ),
+        seed=1,
+    ).validate()
+
+
+FLEET_SCENARIOS = {
+    "balanced_trio": balanced_trio,
+    "drain_rebalance": drain_rebalance,
+    "flash_crowd_fleet": flash_crowd_fleet,
+}
+
+
+def fleet_scenario_names() -> list[str]:
+    return sorted(FLEET_SCENARIOS)
+
+
+def get_fleet_scenario(name: str) -> FleetSpec:
+    try:
+        return FLEET_SCENARIOS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown fleet scenario {name!r} (have: {', '.join(fleet_scenario_names())})"
+        ) from None

@@ -1,0 +1,163 @@
+"""Declarative fleet specifications (DESIGN.md §7).
+
+A :class:`FleetSpec` is plain data — JSON-loadable, validated up front,
+content-hashable — describing a cluster: N nodes (each a fast-tier
+sizing for the unchanged single-box stack), a set of workloads for the
+global placer to distribute, and a round-stamped timeline of cross-node
+events (:mod:`repro.fleet.events`).  Workloads reuse the scenario
+layer's :class:`~repro.scenario.spec.WorkloadDef` with the fleet-level
+constraint ``start_epoch == 0``: arrival staggering happens at fleet
+granularity (node joins, flash crowds), not inside a node round.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.fleet.events import FleetEvent, FleetSpecError, _is_int, validate_timeline
+from repro.scenario.spec import ScenarioSpecError, WorkloadDef
+
+#: placement policies a spec may name (must match placer.PLACER_REGISTRY)
+VALID_PLACERS = ("greedy-free-dram", "credit-balance", "oracle")
+
+
+@dataclass(frozen=True)
+class NodeDef:
+    """One simulated machine in the fleet."""
+
+    node_id: str
+    fast_gb: float = 8.0
+
+    def to_dict(self) -> dict:
+        return {"node_id": self.node_id, "fast_gb": self.fast_gb}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeDef":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A complete scripted fleet experiment."""
+
+    name: str
+    n_rounds: int
+    epochs_per_round: int
+    nodes: tuple[NodeDef, ...] = ()
+    workloads: tuple[WorkloadDef, ...] = ()
+    events: tuple[FleetEvent, ...] = ()
+    policy: str = "vulcan"
+    placer: str = "credit-balance"
+    seed: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        # Tolerate list inputs (e.g. straight from JSON) by freezing.
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self) -> "FleetSpec":
+        """Check internal consistency; returns self so calls chain."""
+        if not self.name:
+            raise FleetSpecError("fleet spec needs a name")
+        if not _is_int(self.n_rounds) or self.n_rounds <= 0:
+            raise FleetSpecError("n_rounds must be a positive integer")
+        if not _is_int(self.epochs_per_round) or self.epochs_per_round <= 0:
+            raise FleetSpecError("epochs_per_round must be a positive integer")
+        if not self.nodes:
+            raise FleetSpecError("fleet needs at least one node")
+        node_ids = [n.node_id for n in self.nodes]
+        if len(set(node_ids)) != len(node_ids):
+            raise FleetSpecError(f"duplicate node ids: {node_ids}")
+        for n in self.nodes:
+            if not n.node_id:
+                raise FleetSpecError("node ids must be non-empty")
+            if not isinstance(n.fast_gb, (int, float)) or isinstance(n.fast_gb, bool) or n.fast_gb <= 0:
+                raise FleetSpecError(f"node {n.node_id}: fast_gb must be a positive number")
+        if not self.workloads:
+            raise FleetSpecError("fleet needs at least one workload")
+        keys = [d.key for d in self.workloads]
+        if len(set(keys)) != len(keys):
+            raise FleetSpecError(f"duplicate workload keys: {keys}")
+        for d in self.workloads:
+            self._validate_workload(d)
+        if self.placer not in VALID_PLACERS:
+            raise FleetSpecError(f"unknown placer {self.placer!r} (pick from {VALID_PLACERS})")
+        from repro.fleet.node import node_workload_slots
+
+        validate_timeline(
+            node_ids, self.events, self.n_rounds,
+            n_workloads=len(self.workloads),
+            slots_per_node=node_workload_slots(),
+        )
+        return self
+
+    def _validate_workload(self, d: WorkloadDef) -> None:
+        # Delegate the per-field checks to a one-workload scenario spec
+        # (same rules, same error type surface) ...
+        from repro.scenario.spec import ScenarioSpec
+
+        try:
+            ScenarioSpec(name="_probe", n_epochs=self.epochs_per_round, workloads=(d,)).validate()
+        except ScenarioSpecError as exc:
+            raise FleetSpecError(str(exc)) from exc
+        # ... then add the fleet constraint: no intra-round staggering.
+        if d.start_epoch != 0:
+            raise FleetSpecError(
+                f"{d.key}: fleet workloads must have start_epoch == 0 "
+                f"(stagger with node_join/flash_crowd events instead)"
+            )
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "policy": self.policy,
+            "placer": self.placer,
+            "seed": self.seed,
+            "n_rounds": self.n_rounds,
+            "epochs_per_round": self.epochs_per_round,
+            "nodes": [n.to_dict() for n in self.nodes],
+            "workloads": [d.to_dict() for d in self.workloads],
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSpec":
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            policy=data.get("policy", "vulcan"),
+            placer=data.get("placer", "credit-balance"),
+            seed=data.get("seed", 1),
+            n_rounds=data["n_rounds"],
+            epochs_per_round=data["epochs_per_round"],
+            nodes=tuple(NodeDef.from_dict(n) for n in data.get("nodes", [])),
+            workloads=tuple(WorkloadDef.from_dict(d) for d in data.get("workloads", [])),
+            events=tuple(FleetEvent.from_dict(e) for e in data.get("events", [])),
+        ).validate()
+
+    @classmethod
+    def from_json(cls, path) -> "FleetSpec":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+    def content_hash(self) -> str:
+        """Stable digest of the full spec content (cache/dedup key)."""
+        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()
+
+    def with_overrides(self, **kwargs) -> "FleetSpec":
+        """A copy with fields replaced (CLI --seed/--policy/--placer)."""
+        return replace(self, **kwargs).validate()
+
+    def initially_active(self) -> set[str]:
+        """Node ids online at round 0 (pending node_join nodes excluded)."""
+        return validate_timeline([n.node_id for n in self.nodes], self.events, self.n_rounds)

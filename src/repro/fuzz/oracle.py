@@ -14,7 +14,7 @@ promises, callable from three places:
 Every check raises :class:`InvariantViolation` carrying a stable check
 id (``frame_conservation``, ``leaked_frames``, ``credit_conservation``,
 ``capacity_cap``, ``heat_consistency``, ``store_rows``,
-``metrics_range``) so the shrinker can hold the failure kind fixed
+``metrics_range``, ``fleet_conservation``) so the shrinker can hold the failure kind fixed
 while it minimizes, and the fuzz report can aggregate by kind.
 
 The oracle is strictly read-only: no check consumes RNG state or
@@ -227,6 +227,65 @@ def check_nonneg_metrics(result) -> None:
                     f"[{lo}, {'inf' if hi is None else hi}]",
                     context={"pid": pid, "series": name, "index": i, "value": float(vals[i])},
                 )
+
+
+def check_fleet_round(record: dict, workload_keys: set[str]) -> None:
+    """Frame conservation *across* nodes for one fleet sync round.
+
+    The single-box checks prove no frames leak inside a node; this is
+    the fleet-level complement over a round record (see
+    ``FleetExperiment``): every workload lives on exactly one active
+    node, no workload vanishes or duplicates across a drain/join, each
+    node's telemetry accounts for exactly its assigned residents, and
+    the pages a node reports in use never exceed its capacity.
+    """
+    rnd = record.get("round")
+    assignment = record["assignment"]
+    active = set(record["active"])
+    if set(assignment) != workload_keys:
+        lost = sorted(workload_keys - set(assignment))
+        extra = sorted(set(assignment) - workload_keys)
+        raise InvariantViolation(
+            "fleet_conservation",
+            f"round {rnd}: workload set changed: lost={lost} extra={extra}",
+            context={"round": rnd, "lost": lost, "extra": extra},
+        )
+    stray = sorted(k for k, n in assignment.items() if n not in active)
+    if stray:
+        raise InvariantViolation(
+            "fleet_conservation",
+            f"round {rnd}: workload(s) {stray} assigned to inactive nodes",
+            context={"round": rnd, "keys": stray},
+        )
+    hosted: dict[str, set[str]] = {n: set() for n in active}
+    for node in record["nodes"]:
+        nid = node["node_id"]
+        if nid not in active:
+            raise InvariantViolation(
+                "fleet_conservation",
+                f"round {rnd}: telemetry from inactive node {nid}",
+                context={"round": rnd, "node": nid},
+            )
+        hosted[nid] = {w["key"] for w in node["workloads"]}
+        used = node["fast_capacity_pages"] - node["free_fast_pages"]
+        if used < 0 or used > node["fast_capacity_pages"]:
+            raise InvariantViolation(
+                "fleet_conservation",
+                f"round {rnd}: node {nid} reports {used} used pages outside "
+                f"[0, {node['fast_capacity_pages']}]",
+                context={"round": rnd, "node": nid, "used": used},
+            )
+    for nid in sorted(active):
+        want = {k for k, n in assignment.items() if n == nid}
+        if hosted.get(nid, set()) != want:
+            raise InvariantViolation(
+                "fleet_conservation",
+                f"round {rnd}: node {nid} hosted {sorted(hosted.get(nid, set()))} "
+                f"but the placer assigned {sorted(want)}",
+                context={"round": rnd, "node": nid,
+                         "hosted": sorted(hosted.get(nid, set())),
+                         "assigned": sorted(want)},
+            )
 
 
 # -- the oracle object the engine / fuzzer attach --------------------------------

@@ -18,10 +18,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.fuzz.strategies import FuzzCase
+from repro.fuzz.strategies import FleetFuzzCase, FuzzCase
 from repro.scenario.spec import ScenarioSpec
 
 CRASHER_FORMAT = "fuzz-crasher-v1"
+FLEET_CRASHER_FORMAT = "fleet-crasher-v1"
 
 
 def promote_crasher(case: FuzzCase, finding: dict, dest_dir) -> Path:
@@ -60,3 +61,49 @@ def iter_crashers(directory) -> list[Path]:
     if not d.is_dir():
         return []
     return sorted(d.glob("crasher_*.json"))
+
+
+# -- fleet crashers ---------------------------------------------------------------
+#
+# Fleet regressions live beside scenario ones but under a distinct
+# prefix and format tag: ``fleet_crasher_*.json`` never matches the
+# ``crasher_*.json`` glob (and vice versa), so the two replay paths can
+# share a directory without ever feeding each other the wrong spec type.
+
+
+def promote_fleet_crasher(case: FleetFuzzCase, finding: dict, dest_dir) -> Path:
+    """Write a failing fleet case as a regression file; returns the path."""
+    dest = Path(dest_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": FLEET_CRASHER_FORMAT,
+        "found_by": {"master_seed": case.master_seed, "index": case.index},
+        "violation": dict(finding),
+        "spec": case.spec.to_dict(),
+    }
+    path = dest / f"fleet_crasher_{case.spec.content_hash()[:12]}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_fleet_crasher(path) -> tuple[FleetFuzzCase, dict]:
+    """Read one fleet regression file back as (case, violation)."""
+    from repro.fleet import FleetSpec
+
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != FLEET_CRASHER_FORMAT:
+        raise ValueError(f"{path}: not a {FLEET_CRASHER_FORMAT} file")
+    case = FleetFuzzCase(
+        index=data["found_by"]["index"],
+        master_seed=data["found_by"]["master_seed"],
+        spec=FleetSpec.from_dict(data["spec"]),
+    )
+    return case, data["violation"]
+
+
+def iter_fleet_crashers(directory) -> list[Path]:
+    """All fleet regression files in ``directory``, name-sorted."""
+    d = Path(directory)
+    if not d.is_dir():
+        return []
+    return sorted(d.glob("fleet_crasher_*.json"))

@@ -30,9 +30,9 @@ import hashlib
 import json
 
 from repro.fuzz.oracle import InvariantOracle, InvariantViolation
-from repro.fuzz.promote import promote_crasher
+from repro.fuzz.promote import promote_crasher, promote_fleet_crasher
 from repro.fuzz.shrink import shrink_case
-from repro.fuzz.strategies import FuzzCase, generate_case
+from repro.fuzz.strategies import FleetFuzzCase, FuzzCase, generate_case, generate_fleet_case
 from repro.harness.parallel import CellTask, execute_tasks
 from repro.obs.metrics import get_registry
 
@@ -163,6 +163,226 @@ def _service_parity(case: FuzzCase) -> dict:
     svc = {k: v for k, v in svc.items() if k != "kind"}
     ok = (json.dumps(cli, sort_keys=True) == json.dumps(svc, sort_keys=True))
     return {"ok": ok, "index": case.index, "spec_hash": case.spec.content_hash()}
+
+
+# -- fleet campaigns --------------------------------------------------------------
+
+
+def execute_fleet_case(case: FleetFuzzCase):
+    """Run one fleet case with all checks armed; returns its FleetResult.
+
+    ``check=True`` arms both layers of the oracle: every node cell runs
+    its scenario under a fresh :class:`InvariantOracle`, and the fleet
+    loop runs :func:`~repro.fuzz.oracle.check_fleet_round` — the
+    cross-node frame-conservation check — after every sync round.
+    """
+    from repro.fleet import run_fleet
+
+    return run_fleet(case.spec, workers=1, check=True)
+
+
+def fleet_case_finding(case: FleetFuzzCase) -> dict | None:
+    """None when the fleet case passes, else a finding dict."""
+    try:
+        execute_fleet_case(case)
+    except InvariantViolation as exc:
+        return exc.to_dict()
+    except Exception as exc:  # noqa: BLE001 — every crash is a finding
+        return {
+            "check": f"crash:{type(exc).__name__}",
+            "epoch": None,
+            "message": str(exc),
+            "context": {},
+        }
+    return None
+
+
+def run_fleet_case_record(case: FleetFuzzCase) -> dict:
+    """One fleet case → its plain-data campaign record (order-free)."""
+    record = {
+        "index": case.index,
+        "policy": case.spec.policy,
+        "placer": case.spec.placer,
+        "n_rounds": case.spec.n_rounds,
+        "n_nodes": len(case.spec.nodes),
+        "n_workloads": len(case.spec.workloads),
+        "n_events": len(case.spec.events),
+        "spec_hash": case.spec.content_hash(),
+    }
+    try:
+        fres = execute_fleet_case(case)
+    except InvariantViolation as exc:
+        record.update(status="violation", finding=exc.to_dict(), result_hash=None)
+    except Exception as exc:  # noqa: BLE001
+        record.update(
+            status="violation",
+            finding={
+                "check": f"crash:{type(exc).__name__}",
+                "epoch": None,
+                "message": str(exc),
+                "context": {},
+            },
+            result_hash=None,
+        )
+    else:
+        canon = fres.canonical_json()
+        record.update(
+            status="ok",
+            finding=None,
+            result_hash=hashlib.sha256(canon.encode()).hexdigest(),
+        )
+    return record
+
+
+def run_fleet_case(case: str = "", seed: int = 0) -> dict:
+    """Worker-process entry: ``case`` is a FleetFuzzCase as JSON."""
+    return run_fleet_case_record(FleetFuzzCase.from_dict(json.loads(case)))
+
+
+def _fleet_service_parity(case: FleetFuzzCase) -> dict:
+    """One fleet spec through the CLI assembly path and the service's
+    ``run_job``, payloads compared canonically."""
+    from repro.harness.jsonsafe import encode_nonfinite
+    from repro.harness.recipes import fleet_run, fleet_summary_json
+    from repro.service.jobs import JobSpec
+    from repro.service.runners import run_job
+
+    res = fleet_run(spec=case.spec.to_dict(), workers=1)
+    cli = encode_nonfinite(fleet_summary_json(res))
+    svc = run_job(JobSpec(kind="fleet", payload={"spec": case.spec.to_dict()}))
+    svc = {k: v for k, v in svc.items() if k != "kind"}
+    ok = (json.dumps(cli, sort_keys=True) == json.dumps(svc, sort_keys=True))
+    return {"ok": ok, "index": case.index, "spec_hash": case.spec.content_hash()}
+
+
+def fleet_campaign(
+    *,
+    seed: int,
+    runs: int,
+    workers: int = 1,
+    promote_dir=None,
+    replay_every: int = 10,
+    parity_check: bool = True,
+    log=None,
+) -> dict:
+    """One full fleet fuzz campaign; returns the deterministic report.
+
+    Same shape and cross-checks as :func:`campaign` — replay
+    determinism on every ``replay_every``-th case, one CLI ≡ service
+    parity probe — but over generated fleets, with failures promoted
+    whole (fleet timelines are round-granular; the epoch-level shrinker
+    does not apply).
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    registry = get_registry()
+    say = log if log is not None else (lambda _msg: None)
+
+    cases = [generate_fleet_case(seed, i) for i in range(runs)]
+
+    # -- execute ----------------------------------------------------------
+    if workers <= 1:
+        records = [run_fleet_case_record(c) for c in cases]
+    else:
+        tasks = [
+            CellTask(
+                index=c.index, cell_index=c.index,
+                params=(("case", json.dumps(c.to_dict(), sort_keys=True)),),
+                seed=seed, cell_seed=seed,
+            )
+            for c in cases
+        ]
+        outcomes = execute_tasks(tasks, run_fleet_case, workers=workers)
+        records = []
+        for c in cases:
+            out = outcomes[c.index]
+            if out.ok:
+                records.append(out.result["data"])
+            else:
+                records.append({
+                    "index": c.index,
+                    "policy": c.spec.policy,
+                    "placer": c.spec.placer,
+                    "n_rounds": c.spec.n_rounds,
+                    "n_nodes": len(c.spec.nodes),
+                    "n_workloads": len(c.spec.workloads),
+                    "n_events": len(c.spec.events),
+                    "spec_hash": c.spec.content_hash(),
+                    "status": "violation",
+                    "finding": {
+                        "check": f"crash:{out.failure.error}",
+                        "epoch": None,
+                        "message": out.failure.message,
+                        "context": {},
+                    },
+                    "result_hash": None,
+                })
+    for rec in records:
+        registry.counter("fuzz_fleet_runs_total", status=rec["status"]).inc()
+        if rec["finding"] is not None:
+            registry.counter("fuzz_violations_total", check=rec["finding"]["check"]).inc()
+
+    # -- replay determinism ----------------------------------------------
+    replay = {"checked": [], "mismatches": []}
+    for i in range(0, runs, max(replay_every, 1)):
+        again = run_fleet_case_record(cases[i])
+        replay["checked"].append(i)
+        if again != records[i]:
+            replay["mismatches"].append({"index": i, "first": records[i], "replay": again})
+            registry.counter("fuzz_violations_total", check="determinism").inc()
+    if replay["mismatches"]:
+        say(f"replay determinism FAILED on {len(replay['mismatches'])} case(s)")
+
+    # -- CLI ≡ service parity --------------------------------------------
+    parity = None
+    if parity_check:
+        ok_cases = [c for c, r in zip(cases, records) if r["status"] == "ok"]
+        if ok_cases:
+            probe = min(
+                ok_cases,
+                key=lambda c: (c.spec.n_rounds * c.spec.epochs_per_round, c.index),
+            )
+            parity = _fleet_service_parity(probe)
+            if not parity["ok"]:
+                registry.counter("fuzz_violations_total", check="service_parity").inc()
+                say(f"CLI/service parity FAILED on case {probe.index}")
+
+    # -- promote ----------------------------------------------------------
+    failures = []
+    for rec in records:
+        if rec["status"] != "violation":
+            continue
+        entry = {"index": rec["index"], "finding": rec["finding"]}
+        case = cases[rec["index"]]
+        entry["minimized"] = case.to_dict()
+        if promote_dir is not None:
+            path = promote_fleet_crasher(case, rec["finding"], promote_dir)
+            entry["promoted"] = str(path)
+            say(f"promoted fleet case {rec['index']} -> {path}")
+        failures.append(entry)
+
+    n_ok = sum(r["status"] == "ok" for r in records)
+    return {
+        "mode": "fleet",
+        "seed": seed,
+        "runs": runs,
+        "workers": workers,
+        "counts": {
+            "ok": n_ok,
+            "violations": runs - n_ok,
+            "replay_checked": len(replay["checked"]),
+            "replay_mismatches": len(replay["mismatches"]),
+        },
+        "cases": records,
+        "failures": failures,
+        "replay": replay,
+        "service_parity": parity,
+        "clean": (
+            n_ok == runs
+            and not replay["mismatches"]
+            and (parity is None or parity["ok"])
+        ),
+    }
 
 
 def campaign(

@@ -213,6 +213,150 @@ def generate_case(master_seed: int, index: int, *, max_epochs: int = 24) -> Fuzz
     return FuzzCase(index=index, master_seed=master_seed, spec=spec, fast_gb=fast_gb)
 
 
+# -- fleet cases -----------------------------------------------------------------
+
+#: node fast-tier sizes (GiB) the fleet fuzzer samples — small so the
+#: generated workloads always contend for fleet capacity
+FLEET_FAST_GB_CHOICES = (2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class FleetFuzzCase:
+    """One generated fleet run: a validated FleetSpec."""
+
+    index: int
+    master_seed: int
+    spec: "FleetSpec"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "master_seed": self.master_seed,
+            "spec": self.spec.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetFuzzCase":
+        from repro.fleet import FleetSpec
+
+        return cls(
+            index=data["index"],
+            master_seed=data["master_seed"],
+            spec=FleetSpec.from_dict(data["spec"]),
+        )
+
+
+def _gen_fleet_workload(rng: np.random.Generator, i: int) -> WorkloadDef:
+    """A fleet workload: like :func:`_gen_workload` but pinned to
+    ``start_epoch == 0`` (the fleet constraint) and sized cheaply —
+    a fuzz fleet runs W workloads × R rounds of full experiments."""
+    kind = VALID_KINDS[int(rng.integers(len(VALID_KINDS)))]
+    params: dict = {}
+    if rng.random() < 0.5:
+        name, lo, hi = _RESHAPE_ATTRS[kind][int(rng.integers(len(_RESHAPE_ATTRS[kind])))]
+        params[name] = round(float(rng.uniform(lo, hi)), 3)
+    return WorkloadDef(
+        key=f"w{i}",
+        kind=kind,
+        service="LC" if rng.random() < 0.4 else "BE",
+        rss_pages=int(rng.integers(60, 261)),
+        n_threads=int(rng.integers(1, 3)),
+        start_epoch=0,
+        accesses_per_thread=int(rng.integers(300, 801)),
+        populate_tier=int(rng.integers(0, 2)),
+        params=params,
+    )
+
+
+def generate_fleet_spec(rng: np.random.Generator, *, name: str) -> "FleetSpec":
+    """One arbitrary valid fleet drawn from ``rng``.
+
+    Validity is by construction — the event walk maintains the same
+    active-node state machine ``validate_timeline`` replays: drains
+    never empty the fleet, joins only bring in nodes held back from the
+    initial active set, flash crowds only hit active nodes.
+    """
+    from repro.fleet import FleetEvent, FleetSpec, NodeDef
+    from repro.fleet.node import node_workload_slots
+    from repro.fleet.spec import VALID_PLACERS
+
+    n_active = int(rng.integers(2, 4))
+    n_pending = int(rng.integers(0, 2))
+    nodes = tuple(
+        NodeDef(
+            node_id=f"n{i}",
+            fast_gb=FLEET_FAST_GB_CHOICES[int(rng.integers(len(FLEET_FAST_GB_CHOICES)))],
+        )
+        for i in range(n_active + n_pending)
+    )
+    pending = [n.node_id for n in nodes[n_active:]]
+    active = {n.node_id for n in nodes[:n_active]}
+
+    n_workloads = int(rng.integers(2, 6))
+    workloads = tuple(_gen_fleet_workload(rng, i) for i in range(n_workloads))
+
+    n_rounds = int(rng.integers(3, 6))
+    events: list[FleetEvent] = []
+    # joins are mandatory for pending nodes (a node held out of the
+    # initial set must join somewhere or validate_timeline's walk and
+    # this generator would disagree about what "pending" means)
+    for node_id in pending:
+        rnd = int(rng.integers(1, n_rounds))
+        events.append(FleetEvent(round=rnd, action="node_join", node=node_id))
+        active_at = rnd  # noqa: F841 — joins apply in round order below
+    joined_at = {e.node: e.round for e in events}
+    for rnd in range(1, n_rounds):
+        # same-round events apply sorted by action name, so a node_join
+        # lands *after* any flash_crowd/node_drain in its round — only
+        # treat joins from strictly earlier rounds as active here
+        for node_id in [n for n, r in joined_at.items() if r < rnd]:
+            active.add(node_id)
+        if rng.random() >= 0.6:
+            continue
+        menu = ["flash_crowd"]
+        # a drain is only on the menu when the survivors still have a
+        # core-block slot for every workload (mirrors validate_timeline)
+        if len(active) > 1 and (len(active) - 1) * node_workload_slots() >= n_workloads:
+            menu += ["node_drain"]
+        action = menu[int(rng.integers(len(menu)))]
+        target = sorted(active)[int(rng.integers(len(active)))]
+        if action == "node_drain":
+            events.append(FleetEvent(round=rnd, action="node_drain", node=target))
+            active.discard(target)
+        else:
+            events.append(FleetEvent(
+                round=rnd, action="flash_crowd", node=target,
+                params={
+                    "factor": round(float(rng.uniform(1.2, 3.0)), 3),
+                    "rounds": int(rng.integers(1, 3)),
+                },
+            ))
+
+    return FleetSpec(
+        name=name,
+        n_rounds=n_rounds,
+        epochs_per_round=int(rng.integers(2, 4)),
+        nodes=nodes,
+        workloads=workloads,
+        events=tuple(events),
+        policy=POLICY_CHOICES[int(rng.integers(len(POLICY_CHOICES)))],
+        placer=VALID_PLACERS[int(rng.integers(len(VALID_PLACERS)))],
+        seed=int(rng.integers(0, 2**31)),
+        description="fuzz-generated fleet",
+    ).validate()
+
+
+def generate_fleet_case(master_seed: int, index: int) -> FleetFuzzCase:
+    """Fleet case ``index`` of campaign ``master_seed`` — a pure function.
+
+    Seeded with a distinct third stream component so a fleet campaign
+    and a scenario campaign at the same master seed stay decorrelated.
+    """
+    rng = np.random.default_rng([master_seed, index, 2])
+    spec = generate_fleet_spec(rng, name=f"fleet-fuzz-{master_seed}-{index}")
+    return FleetFuzzCase(index=index, master_seed=master_seed, spec=spec)
+
+
 def spec_strategy(max_epochs: int = 24):
     """A hypothesis strategy over valid specs (raises if hypothesis absent).
 

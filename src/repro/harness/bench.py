@@ -249,15 +249,83 @@ def _run_scenario_bench(name: str) -> BenchResult:
     )
 
 
+#: the pinned ``--fleet`` scenario (drain_rebalance: the only canned
+#: fleet with evacuations, so the p99 evacuation latency is exercised)
+FLEET_SCENARIO = "drain_rebalance"
+FLEET_QUICK_EPOCHS_PER_ROUND = 2
+
+
+def run_fleet_bench(*, quick: bool = False, workers: int = 1) -> dict:
+    """Time the pinned fleet scenario; returns the bench payload.
+
+    The payload carries a ``fleet`` block (the third
+    :func:`check_regression` family) and regresses on
+    ``node_epochs_per_sec`` — total node-rounds × epochs executed per
+    wall second, the fleet analogue of ``epochs_per_sec``.  The
+    simulated metrics (fleet CFI, vs-oracle quality, evacuation p99
+    cycles) are deterministic; only timing varies run to run.
+    """
+    from repro.fleet import get_fleet_scenario, run_fleet
+
+    spec = get_fleet_scenario(FLEET_SCENARIO)
+    if quick:
+        spec = spec.with_overrides(epochs_per_round=FLEET_QUICK_EPOCHS_PER_ROUND)
+    t0 = time.perf_counter()
+    result = run_fleet(spec, workers=workers)
+    wall = time.perf_counter() - t0
+    summary = result.summary()
+    evac = [float(c) for c in result.evacuation_cycles()]
+    from repro.fleet.metrics import percentile
+
+    return {
+        "fleet": {
+            "scenario": FLEET_SCENARIO,
+            "spec_hash": spec.content_hash(),
+            "policy": spec.policy,
+            "placer": spec.placer,
+            "seed": spec.seed,
+            "n_rounds": spec.n_rounds,
+            "epochs_per_round": spec.epochs_per_round,
+            "n_nodes": len(spec.nodes),
+            "n_workloads": len(spec.workloads),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "kernels": kernels.BACKEND,
+            "workers": workers,
+        },
+        "timing": {
+            "wall_seconds": round(wall, 3),
+            "node_epochs_per_sec": round(result.node_epochs / wall, 3),
+            "peak_rss_kb": peak_rss_kb(),
+        },
+        "simulated": {
+            "node_epochs": result.node_epochs,
+            "fleet_cfi": summary["fleet_cfi"],
+            "node_cfi_spread": summary["node_cfi_spread"],
+            "placement_score": summary["placement_score"],
+            "vs_oracle": summary["vs_oracle"],
+            "placements": summary["placements"],
+            "migrations": summary["migrations"],
+            "evacuations": summary["evacuations"],
+            "evacuation_p50_cycles": percentile(evac, 50.0),
+            "evacuation_p99_cycles": percentile(evac, 99.0),
+        },
+    }
+
+
 def check_regression(payload: dict, baseline_path: str, *, tolerance: float = 0.30) -> str | None:
     """Compare a bench payload against a committed baseline file.
 
-    Two payload families share the contract: simulator benches carry a
-    ``scenario`` block and regress on ``epochs_per_sec``; service
+    Three payload families share the contract: simulator benches carry
+    a ``scenario`` block and regress on ``epochs_per_sec``; service
     benches (``repro bench --service``) carry a ``service`` block and
-    regress on ``jobs_per_sec``.  In both cases the pinned-scenario
-    block must match exactly (a quick baseline only compares against a
-    quick run, a 50-client baseline against a 50-client run), and the
+    regress on ``jobs_per_sec``; fleet benches (``repro bench
+    --fleet``) carry a ``fleet`` block and regress on
+    ``node_epochs_per_sec``.  In every case the pinned-scenario block
+    must match exactly (a quick baseline only compares against a quick
+    run, a 50-client baseline against a 50-client run), and the
     throughput metric may not drop more than ``tolerance`` below the
     baseline.
 
@@ -266,9 +334,12 @@ def check_regression(payload: dict, baseline_path: str, *, tolerance: float = 0.
     error too — a CI job silently skipping its own check is worse than
     a red run.
     """
-    scenario_key, metric = (
-        ("service", "jobs_per_sec") if "service" in payload else ("scenario", "epochs_per_sec")
-    )
+    if "service" in payload:
+        scenario_key, metric = "service", "jobs_per_sec"
+    elif "fleet" in payload:
+        scenario_key, metric = "fleet", "node_epochs_per_sec"
+    else:
+        scenario_key, metric = "scenario", "epochs_per_sec"
     try:
         with open(baseline_path) as f:
             baseline = json.load(f)

@@ -78,6 +78,51 @@ def scenario_summary_json(sres, *, window: int) -> dict:
     return out
 
 
+# -- fleet -----------------------------------------------------------------------
+
+def fleet_run(
+    *,
+    name: str | None = None,
+    spec: dict | None = None,
+    policy: str | None = None,
+    placer: str | None = None,
+    seed: int | None = None,
+    workers: int = 1,
+    check: bool = False,
+):
+    """The canonical fleet run: what ``repro fleet run`` executes.
+
+    ``name`` picks a canned fleet scenario, ``spec`` an inline
+    ``FleetSpec.to_dict`` form (exactly one must be given); the
+    remaining arguments override the spec's fields.  Shared with the
+    service's fleet job runner so service ≡ CLI holds bit-for-bit.
+    """
+    from repro.fleet import FleetSpec, get_fleet_scenario, run_fleet
+
+    if (name is None) == (spec is None):
+        raise ValueError("fleet_run needs exactly one of name= or spec=")
+    fspec = get_fleet_scenario(name) if name is not None else FleetSpec.from_dict(spec)
+    overrides = {
+        k: v for k, v in (("policy", policy), ("placer", placer), ("seed", seed))
+        if v is not None
+    }
+    if overrides:
+        fspec = fspec.with_overrides(**overrides)
+    return run_fleet(fspec, workers=workers, check=check)
+
+
+def fleet_summary_json(result) -> dict:
+    """The ``repro fleet run --json`` payload (and a fleet job's body).
+
+    The full :meth:`FleetResult.to_dict` minus the informational
+    ``workers_used`` field — the payload is the bit-identity surface
+    shared by the CLI, the service, and the determinism tests.
+    """
+    payload = result.to_dict()
+    payload.pop("workers_used", None)
+    return payload
+
+
 # -- sweep cells -----------------------------------------------------------------
 
 def sweep_cell(fast_gb: float, *, policy: str, mix: str, epochs: int, accesses: int, seed: int):

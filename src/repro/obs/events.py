@@ -46,6 +46,16 @@ class EventKind(str, enum.Enum):
     PHASE_SHIFT = "phase_shift"
     #: a migration fault was injected (aborted-sync / lost-async / poisoned-shadow)
     FAULT_INJECTED = "fault_injected"
+    #: one fleet sync round completed (all active nodes advanced)
+    FLEET_ROUND = "fleet_round"
+    #: the global placer assigned a previously unplaced workload to a node
+    FLEET_PLACEMENT = "fleet_placement"
+    #: the global placer live-migrated a workload between nodes
+    FLEET_MIGRATION = "fleet_migration"
+    #: a workload was evacuated off a draining node
+    FLEET_EVACUATION = "fleet_evacuation"
+    #: a fleet node changed membership (drain out / join in)
+    FLEET_NODE_CHANGE = "fleet_node_change"
     #: a named duration (``tracer.span``)
     SPAN = "span"
     #: a named point event (``tracer.instant``)

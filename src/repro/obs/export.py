@@ -203,6 +203,11 @@ def summarize(events: list[TraceEvent]) -> str:
     promo_by_class: TallyCounter = TallyCounter()
     promos: dict[int, int] = defaultdict(int)
     demos: dict[int, int] = defaultdict(int)
+    fleet_rounds: set[int] = set()
+    fleet_moves: TallyCounter = TallyCounter()
+    fleet_move_pages: dict[str, int] = defaultdict(int)
+    fleet_move_cycles: dict[str, float] = defaultdict(float)
+    fleet_node_changes: list[TraceEvent] = []
 
     for ev in events:
         if ev.kind is EventKind.EPOCH:
@@ -234,6 +239,16 @@ def summarize(events: list[TraceEvent]) -> str:
         elif ev.kind is EventKind.QUEUE_DEMOTION:
             if ev.pid is not None:
                 demos[ev.pid] += 1
+        elif ev.kind is EventKind.FLEET_ROUND:
+            fleet_rounds.add(int(ev.args.get("round", -1)))
+        elif ev.kind in (EventKind.FLEET_PLACEMENT, EventKind.FLEET_MIGRATION,
+                         EventKind.FLEET_EVACUATION):
+            reason = ev.name
+            fleet_moves[reason] += 1
+            fleet_move_pages[reason] += int(ev.args.get("pages", 0))
+            fleet_move_cycles[reason] += float(ev.args.get("cycles", 0.0))
+        elif ev.kind is EventKind.FLEET_NODE_CHANGE:
+            fleet_node_changes.append(ev)
 
     sections: list[str] = []
     n_epochs = len(epochs)
@@ -309,5 +324,22 @@ def summarize(events: list[TraceEvent]) -> str:
             sections.append(render_table(
                 ["page class", "promotions"], rows, title="promotions by Table-1 class",
             ))
+
+    if fleet_rounds or fleet_moves or fleet_node_changes:
+        rows = [
+            [reason, fleet_moves[reason], fleet_move_pages[reason], fleet_move_cycles[reason]]
+            for reason in sorted(fleet_moves)
+        ]
+        joins = sum(1 for ev in fleet_node_changes if ev.name == "node_join")
+        drains = sum(1 for ev in fleet_node_changes if ev.name == "node_drain")
+        crowds = sum(1 for ev in fleet_node_changes if ev.name == "flash_crowd")
+        sections.append(render_table(
+            ["move", "count", "pages", "cycles"], rows,
+            title=(
+                f"fleet activity ({len(fleet_rounds)} sync rounds, {drains} drains, "
+                f"{joins} joins, {crowds} flash crowds)"
+            ),
+            float_fmt="{:.3g}",
+        ))
 
     return "\n\n".join(sections)

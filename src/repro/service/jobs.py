@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.harness.cache import content_hash
 
-VALID_JOB_KINDS = ("run", "sweep", "scenario")
+VALID_JOB_KINDS = ("run", "sweep", "scenario", "fleet")
 
 #: schema version folded into every job id; bump on payload layout changes
 JOB_SPEC_VERSION = 1
@@ -42,6 +42,10 @@ SWEEP_DEFAULTS: dict = {
 SCENARIO_DEFAULTS: dict = {
     "name": None, "spec": None, "policy": None, "seed": None, "epochs": None,
     "window": 10,
+}
+FLEET_DEFAULTS: dict = {
+    "name": None, "spec": None, "policy": None, "placer": None, "seed": None,
+    "workers": 1,
 }
 
 #: hard cap on nested sweep parallelism inside one job (the scheduler
@@ -184,6 +188,42 @@ class JobSpec:
             if p[k] is not None:
                 _require(isinstance(p[k], int) and not isinstance(p[k], bool), f"{k} must be an int")
         _require(isinstance(p["window"], int) and p["window"] > 0, "window must be a positive int")
+        return p
+
+    def _normalize_fleet(self) -> dict:
+        p = self._base(FLEET_DEFAULTS)
+        _require((p["name"] is None) != (p["spec"] is None),
+                 "fleet payload needs exactly one of 'name' (canned) or 'spec' (inline)")
+        if p["name"] is not None:
+            from repro.fleet import fleet_scenario_names
+
+            _require(p["name"] in fleet_scenario_names(),
+                     f"unknown fleet scenario {p['name']!r} "
+                     f"(pick from {tuple(fleet_scenario_names())})")
+        else:
+            from repro.fleet import FleetSpec, FleetSpecError
+
+            _require(isinstance(p["spec"], dict), "fleet spec must be an object")
+            try:
+                canon = FleetSpec.from_dict(p["spec"])
+            except (FleetSpecError, KeyError, TypeError) as exc:
+                raise JobError(f"invalid fleet spec: {exc}") from exc
+            p["spec"] = canon.to_dict()
+        if p["policy"] is not None:
+            _require(p["policy"] in _known_policies(),
+                     f"unknown policy {p['policy']!r} (pick from {_known_policies()})")
+        if p["placer"] is not None:
+            from repro.fleet.spec import VALID_PLACERS
+
+            _require(p["placer"] in VALID_PLACERS,
+                     f"unknown placer {p['placer']!r} (pick from {VALID_PLACERS})")
+        if p["seed"] is not None:
+            _require(isinstance(p["seed"], int) and not isinstance(p["seed"], bool),
+                     "seed must be an int")
+        _require(isinstance(p["workers"], int) and not isinstance(p["workers"], bool),
+                 "workers must be an int")
+        _require(1 <= p["workers"] <= MAX_SWEEP_WORKERS,
+                 f"workers must lie in [1, {MAX_SWEEP_WORKERS}]")
         return p
 
     # -- identity ----------------------------------------------------------

@@ -109,4 +109,21 @@ def _run_scenario(payload: dict, cell_cache_dir: str | None) -> dict:
     return out
 
 
-_RUNNERS = {"run": _run_run, "sweep": _run_sweep, "scenario": _run_scenario}
+def _run_fleet(payload: dict, cell_cache_dir: str | None) -> dict:
+    from repro.harness.recipes import fleet_run, fleet_summary_json
+
+    result = fleet_run(
+        name=payload["name"],
+        spec=payload["spec"],
+        policy=payload["policy"],
+        placer=payload["placer"],
+        seed=payload["seed"],
+        workers=payload["workers"],
+    )
+    out = fleet_summary_json(result)
+    out["kind"] = "fleet"
+    return out
+
+
+_RUNNERS = {"run": _run_run, "sweep": _run_sweep, "scenario": _run_scenario,
+            "fleet": _run_fleet}

@@ -1,0 +1,115 @@
+"""Placer contracts: totality, determinism, slot caps, rebalance triggers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.node import NodeTelemetry, WorkloadTelemetry, node_workload_slots
+from repro.fleet.placer import PLACER_REGISTRY, make_placer
+
+
+def _telemetry(node_id: str, credits: dict[str, int]) -> NodeTelemetry:
+    wls = tuple(
+        WorkloadTelemetry(
+            key=k, service="BE", rss_pages=100, mean_ops=1.0,
+            mean_fthr=0.5, fast_pages=50, credits=c,
+        )
+        for k, c in sorted(credits.items())
+    )
+    return NodeTelemetry(
+        node_id=node_id, round=0, fast_capacity_pages=400,
+        free_fast_pages=100, cfi=0.9, workloads=wls,
+    )
+
+
+class TestRegistry:
+    def test_all_placers_registered(self):
+        assert set(PLACER_REGISTRY) == {"greedy-free-dram", "credit-balance", "oracle"}
+
+    def test_unknown_placer_raises(self):
+        with pytest.raises(KeyError, match="unknown placer"):
+            make_placer("bogus")
+
+
+@pytest.mark.parametrize("name", sorted(PLACER_REGISTRY))
+class TestContract:
+    def test_total_and_deterministic(self, name):
+        placer = make_placer(name)
+        demands = {"a": 300, "b": 200, "c": 150, "d": 90}
+        caps = {"n0": 400, "n1": 400}
+        kwargs = dict(
+            demands=demands, capacities=caps,
+            current={k: None for k in demands}, telemetry={},
+        )
+        out = placer.assign(**kwargs)
+        assert set(out) == set(demands)
+        assert set(out.values()) <= set(caps)
+        assert placer.assign(**kwargs) == out
+
+    def test_slot_cap_never_exceeded(self, name):
+        slots = node_workload_slots()
+        placer = make_placer(name)
+        n = slots + 2  # more workloads than one node can seat
+        demands = {f"w{i}": 50 for i in range(n)}
+        caps = {"n0": 4000, "n1": 400}  # n0 looks better on every metric
+        out = placer.assign(
+            demands=demands, capacities=caps,
+            current={k: None for k in demands}, telemetry={},
+        )
+        per_node: dict[str, int] = {}
+        for node in out.values():
+            per_node[node] = per_node.get(node, 0) + 1
+        assert max(per_node.values()) <= slots
+
+
+class TestGreedyFreeDram:
+    def test_never_migrates_placed_workloads(self):
+        placer = make_placer("greedy-free-dram")
+        out = placer.assign(
+            demands={"a": 300, "b": 300, "c": 100},
+            capacities={"n0": 400, "n1": 400},
+            current={"a": "n0", "b": "n0", "c": None},
+            telemetry={},
+        )
+        assert out["a"] == "n0" and out["b"] == "n0"
+        assert out["c"] == "n1"  # pending lands on the freest node
+
+
+class TestCreditBalance:
+    def test_rebalances_off_pressured_overloaded_node(self):
+        placer = make_placer("credit-balance")
+        out = placer.assign(
+            demands={"a": 300, "b": 200, "c": 50},
+            capacities={"n0": 400, "n1": 400},
+            current={"a": "n0", "b": "n0", "c": "n1"},
+            telemetry={
+                "n0": _telemetry("n0", {"a": -30, "b": -10}),
+                "n1": _telemetry("n1", {"c": 0}),
+            },
+        )
+        moved = [k for k in ("a", "b") if out[k] != "n0"]
+        assert len(moved) == 1, "exactly one rebalance move per round"
+        assert out[moved[0]] == "n1"
+
+    def test_no_move_when_nothing_overloaded(self):
+        placer = make_placer("credit-balance")
+        current = {"a": "n0", "b": "n1"}
+        out = placer.assign(
+            demands={"a": 200, "b": 200},
+            capacities={"n0": 400, "n1": 400},
+            current=current,
+            telemetry={},
+        )
+        assert out == current
+
+    def test_sole_tenant_not_shuffled(self):
+        # moving the only resident just relocates the pressure
+        placer = make_placer("credit-balance")
+        current = {"a": "n0", "b": "n1"}
+        out = placer.assign(
+            demands={"a": 900, "b": 50},
+            capacities={"n0": 400, "n1": 400},
+            current=current,
+            telemetry={"n0": _telemetry("n0", {"a": -40})},
+        )
+        assert out == current

@@ -1,0 +1,155 @@
+"""FleetSpec and timeline validation: every illegal script fails up front."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetEvent, FleetSpec, FleetSpecError, NodeDef
+from repro.fleet.node import node_workload_slots
+from repro.scenario.spec import WorkloadDef
+
+
+def _wl(key: str, rss: int = 120, start_epoch: int = 0) -> WorkloadDef:
+    return WorkloadDef(
+        key=key, kind="microbench", service="BE", rss_pages=rss,
+        n_threads=1, start_epoch=start_epoch, accesses_per_thread=400,
+    )
+
+
+def _spec(**over) -> FleetSpec:
+    base = dict(
+        name="t",
+        n_rounds=3,
+        epochs_per_round=2,
+        nodes=(NodeDef("n0", 4.0), NodeDef("n1", 4.0)),
+        workloads=(_wl("a"), _wl("b")),
+        events=(),
+    )
+    base.update(over)
+    return FleetSpec(**base)
+
+
+class TestSpecValidation:
+    def test_valid_spec_chains(self):
+        assert _spec().validate() is not None
+
+    def test_needs_nodes(self):
+        with pytest.raises(FleetSpecError, match="at least one node"):
+            _spec(nodes=()).validate()
+
+    def test_needs_workloads(self):
+        with pytest.raises(FleetSpecError, match="at least one workload"):
+            _spec(workloads=()).validate()
+
+    def test_duplicate_node_ids(self):
+        with pytest.raises(FleetSpecError, match="duplicate node ids"):
+            _spec(nodes=(NodeDef("n0"), NodeDef("n0"))).validate()
+
+    def test_duplicate_workload_keys(self):
+        with pytest.raises(FleetSpecError, match="duplicate workload keys"):
+            _spec(workloads=(_wl("a"), _wl("a"))).validate()
+
+    def test_unknown_placer(self):
+        with pytest.raises(FleetSpecError, match="unknown placer"):
+            _spec(placer="bogus").validate()
+
+    def test_staggered_start_epoch_rejected(self):
+        with pytest.raises(FleetSpecError, match="start_epoch == 0"):
+            _spec(workloads=(_wl("a"), _wl("b", start_epoch=1))).validate()
+
+    def test_round_trip_preserves_hash(self):
+        spec = _spec(events=(
+            FleetEvent(round=1, action="flash_crowd", node="n0",
+                       params={"factor": 2.0, "rounds": 1}),
+        )).validate()
+        again = FleetSpec.from_dict(spec.to_dict())
+        assert again.content_hash() == spec.content_hash()
+
+
+class TestTimelineValidation:
+    def test_drain_last_node_rejected(self):
+        events = (
+            FleetEvent(round=1, action="node_drain", node="n0"),
+            FleetEvent(round=2, action="node_drain", node="n1"),
+        )
+        with pytest.raises(FleetSpecError, match="empties the fleet"):
+            _spec(events=events).validate()
+
+    def test_drain_inactive_node_rejected(self):
+        events = (
+            FleetEvent(round=1, action="node_drain", node="n0"),
+            FleetEvent(round=2, action="node_drain", node="n0"),
+        )
+        with pytest.raises(FleetSpecError, match="is not active"):
+            _spec(events=events).validate()
+
+    def test_join_active_node_rejected(self):
+        with pytest.raises(FleetSpecError, match="already active"):
+            _spec(events=(
+                FleetEvent(round=1, action="node_join", node="n0"),
+                FleetEvent(round=2, action="node_join", node="n0"),
+            )).validate()
+
+    def test_flash_crowd_inactive_node_rejected(self):
+        events = (
+            FleetEvent(round=1, action="node_drain", node="n1"),
+            FleetEvent(round=2, action="flash_crowd", node="n1",
+                       params={"factor": 2.0}),
+        )
+        with pytest.raises(FleetSpecError, match="inactive node"):
+            _spec(events=events).validate()
+
+    def test_flash_crowd_needs_factor_above_one(self):
+        with pytest.raises(FleetSpecError, match="factor"):
+            _spec(events=(
+                FleetEvent(round=1, action="flash_crowd", node="n0",
+                           params={"factor": 1.0}),
+            )).validate()
+
+    def test_round_zero_rejected(self):
+        with pytest.raises(FleetSpecError, match="round outside"):
+            _spec(events=(
+                FleetEvent(round=0, action="node_drain", node="n0"),
+            )).validate()
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FleetSpecError, match="unknown action"):
+            _spec(events=(
+                FleetEvent(round=1, action="reboot", node="n0"),
+            )).validate()
+
+    def test_initially_active_excludes_pending_joins(self):
+        spec = _spec(
+            nodes=(NodeDef("n0"), NodeDef("n1"), NodeDef("n2")),
+            events=(FleetEvent(round=1, action="node_join", node="n2"),),
+        ).validate()
+        assert spec.initially_active() == {"n0", "n1"}
+
+
+class TestSlotCapacity:
+    """The core-block hosting constraint the fleet fuzzer discovered:
+    a node can host at most ``node_workload_slots()`` workloads, so a
+    timeline that strands more than the survivors can seat is invalid."""
+
+    def test_slots_match_machine_cores(self):
+        assert node_workload_slots() == 4  # 32 cores / 8-core blocks
+
+    def test_too_many_workloads_for_one_survivor(self):
+        slots = node_workload_slots()
+        wls = tuple(_wl(f"w{i}", rss=80) for i in range(slots + 1))
+        with pytest.raises(FleetSpecError, match="workload slots"):
+            _spec(
+                workloads=wls,
+                events=(FleetEvent(round=1, action="node_drain", node="n1"),),
+            ).validate()
+
+    def test_same_count_without_drain_is_fine(self):
+        slots = node_workload_slots()
+        wls = tuple(_wl(f"w{i}", rss=80) for i in range(slots + 1))
+        assert _spec(workloads=wls).validate() is not None
+
+    def test_initial_overcommit_rejected(self):
+        slots = node_workload_slots()
+        wls = tuple(_wl(f"w{i}", rss=80) for i in range(slots + 1))
+        with pytest.raises(FleetSpecError, match="round 0"):
+            _spec(nodes=(NodeDef("n0", 4.0),), workloads=wls).validate()

@@ -12,12 +12,19 @@ from pathlib import Path
 
 import pytest
 
-from repro.fuzz.promote import iter_crashers, load_crasher
-from repro.fuzz.runner import case_finding
+from repro.fleet.events import FleetSpecError
+from repro.fuzz.promote import (
+    iter_crashers,
+    iter_fleet_crashers,
+    load_crasher,
+    load_fleet_crasher,
+)
+from repro.fuzz.runner import case_finding, fleet_case_finding
 
 REGRESSION_DIR = Path(__file__).resolve().parents[1] / "golden" / "fuzz_regressions"
 
 CRASHERS = iter_crashers(REGRESSION_DIR)
+FLEET_CRASHERS = iter_fleet_crashers(REGRESSION_DIR)
 
 
 def test_regression_dir_exists():
@@ -28,6 +35,22 @@ def test_regression_dir_exists():
 def test_promoted_crasher_replays_green(path):
     case, violation = load_crasher(path)
     finding = case_finding(case)
+    assert finding is None, (
+        f"{path.name} (originally caught [{violation['check']}]) fails again: "
+        f"[{finding['check']}] {finding['message']}"
+    )
+
+
+@pytest.mark.parametrize("path", FLEET_CRASHERS, ids=lambda p: p.name)
+def test_promoted_fleet_crasher_replays_green(path):
+    """A fleet crasher is fixed either way: its spec is now rejected at
+    validation (the crash is unreachable through any entry point), or it
+    loads and runs clean under the full two-layer oracle."""
+    try:
+        case, violation = load_fleet_crasher(path)
+    except FleetSpecError:
+        return  # rejected up front — the original crash cannot recur
+    finding = fleet_case_finding(case)
     assert finding is None, (
         f"{path.name} (originally caught [{violation['check']}]) fails again: "
         f"[{finding['check']}] {finding['message']}"

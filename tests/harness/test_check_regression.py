@@ -1,0 +1,88 @@
+"""check_regression: one unit test per detection branch, for all three
+payload families (scenario / service / fleet)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.bench import check_regression
+
+#: (pinned-block key, throughput metric) per payload family
+FAMILIES = [
+    ("scenario", "epochs_per_sec"),
+    ("service", "jobs_per_sec"),
+    ("fleet", "node_epochs_per_sec"),
+]
+
+
+def _payload(kind: str, metric: str, value: float) -> dict:
+    return {kind: {"name": "pinned", "quick": True}, "timing": {metric: value}}
+
+
+def _write(tmp_path, payload: dict) -> str:
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+@pytest.mark.parametrize("kind,metric", FAMILIES)
+class TestPerFamily:
+    def test_within_tolerance_passes(self, tmp_path, kind, metric):
+        base = _write(tmp_path, _payload(kind, metric, 100.0))
+        assert check_regression(_payload(kind, metric, 80.0), base) is None
+
+    def test_improvement_passes(self, tmp_path, kind, metric):
+        base = _write(tmp_path, _payload(kind, metric, 100.0))
+        assert check_regression(_payload(kind, metric, 250.0), base) is None
+
+    def test_regression_below_floor_detected(self, tmp_path, kind, metric):
+        base = _write(tmp_path, _payload(kind, metric, 100.0))
+        err = check_regression(_payload(kind, metric, 50.0), base)
+        assert err is not None and f"{metric} regressed" in err
+
+    def test_pinned_block_mismatch_detected(self, tmp_path, kind, metric):
+        base = _write(tmp_path, _payload(kind, metric, 100.0))
+        payload = _payload(kind, metric, 100.0)
+        payload[kind] = {"name": "pinned", "quick": False}
+        err = check_regression(payload, base)
+        assert err is not None and "mismatch" in err
+
+    def test_missing_baseline_is_an_error(self, tmp_path, kind, metric):
+        err = check_regression(
+            _payload(kind, metric, 100.0), str(tmp_path / "absent.json")
+        )
+        assert err is not None and "cannot read baseline" in err
+
+    def test_malformed_baseline_is_an_error(self, tmp_path, kind, metric):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"timing": {}}')
+        err = check_regression(_payload(kind, metric, 100.0), str(path))
+        assert err is not None and "cannot read baseline" in err
+
+
+class TestFamilySelection:
+    """The payload's block picks the metric — a fleet payload must never
+    be judged on epochs_per_sec and vice versa."""
+
+    def test_service_block_wins_over_default(self, tmp_path):
+        payload = _payload("service", "jobs_per_sec", 100.0)
+        base = _write(tmp_path, payload)
+        assert check_regression(dict(payload), base) is None
+
+    def test_fleet_block_selects_node_epochs(self, tmp_path):
+        payload = _payload("fleet", "node_epochs_per_sec", 100.0)
+        payload["timing"]["epochs_per_sec"] = 1.0  # decoy for the default branch
+        base = _write(tmp_path, payload)
+        slow = json.loads(json.dumps(payload))
+        slow["timing"]["node_epochs_per_sec"] = 10.0
+        err = check_regression(slow, base)
+        assert err is not None and "node_epochs_per_sec" in err
+
+    def test_plain_payload_uses_scenario_branch(self, tmp_path):
+        payload = _payload("scenario", "epochs_per_sec", 100.0)
+        base = _write(tmp_path, payload)
+        slow = _payload("scenario", "epochs_per_sec", 10.0)
+        err = check_regression(slow, base)
+        assert err is not None and "epochs_per_sec" in err

@@ -137,6 +137,36 @@ def test_summary_names_the_required_sections(tracer, tmp_path):
     assert "memcached" in text
 
 
+def test_summary_fleet_activity_section(tracer):
+    from repro.fleet import FleetEvent, FleetSpec, NodeDef, run_fleet
+    from repro.scenario.spec import WorkloadDef
+
+    spec = FleetSpec(
+        name="trace-fleet",
+        n_rounds=2,
+        epochs_per_round=2,
+        nodes=(NodeDef("n0", 4.0), NodeDef("n1", 4.0), NodeDef("n2", 4.0)),
+        workloads=(
+            WorkloadDef(key="a", kind="microbench", service="BE", rss_pages=100,
+                        n_threads=1, accesses_per_thread=400),
+            WorkloadDef(key="b", kind="microbench", service="BE", rss_pages=90,
+                        n_threads=1, accesses_per_thread=400),
+        ),
+        events=(FleetEvent(round=1, action="node_drain", node="n0"),),
+        seed=9,
+    ).validate()
+    run_fleet(spec, workers=1)
+    text = summarize(tracer.events())
+    assert "fleet activity" in text
+    assert "1 drains" in text
+    assert "evacuation" in text
+
+
+def test_summary_without_fleet_events_has_no_fleet_section(tracer):
+    traced_run(epochs=2)
+    assert "fleet activity" not in summarize(tracer.events())
+
+
 def test_chrome_trace_empty_stream():
     doc = to_chrome_trace([])
     assert doc["traceEvents"] == []

@@ -95,9 +95,38 @@ class TestSpecNormalization:
             JobSpec.from_dict({"kind": "run", "priority": 9})
 
     def test_all_kinds_valid(self):
+        named = {"scenario": {"name": "churn"}, "fleet": {"name": "balanced_trio"}}
         for kind in VALID_JOB_KINDS:
-            payload = {"name": "churn"} if kind == "scenario" else {}
-            JobSpec(kind, payload).normalized()
+            JobSpec(kind, named.get(kind, {})).normalized()
+
+    def test_fleet_needs_name_xor_spec(self):
+        with pytest.raises(JobError, match="exactly one of"):
+            JobSpec("fleet").normalized()
+        with pytest.raises(JobError, match="exactly one of"):
+            JobSpec("fleet", {"name": "balanced_trio", "spec": {}}).normalized()
+
+    def test_fleet_unknown_name(self):
+        with pytest.raises(JobError, match="unknown fleet scenario"):
+            JobSpec("fleet", {"name": "not-a-fleet"}).normalized()
+
+    def test_fleet_unknown_placer(self):
+        with pytest.raises(JobError, match="unknown placer"):
+            JobSpec("fleet", {"name": "balanced_trio", "placer": "bogus"}).normalized()
+
+    def test_fleet_invalid_inline_spec(self):
+        with pytest.raises(JobError, match="invalid fleet spec"):
+            JobSpec("fleet", {"spec": {"name": "x"}}).normalized()
+
+    def test_fleet_workers_bounds(self):
+        with pytest.raises(JobError, match="workers"):
+            JobSpec("fleet", {"name": "balanced_trio", "workers": 0}).normalized()
+        with pytest.raises(JobError, match="workers"):
+            JobSpec("fleet", {"name": "balanced_trio", "workers": 99}).normalized()
+
+    def test_fleet_canned_name_hashes_stably(self):
+        a = JobSpec("fleet", {"name": "balanced_trio"})
+        b = JobSpec("fleet", {"name": "balanced_trio", "workers": 1})
+        assert a.job_id() == b.job_id()
 
 
 class TestStateMachine:

@@ -75,6 +75,33 @@ class TestDeterminismContract:
         res = ExperimentResult.from_dict(got["result"])
         assert set(res.workloads) and res.policy_name == QUICK["policy"]
 
+    def test_service_fleet_matches_cli_recipe(self, tmp_path):
+        """``repro fleet run --json`` and a service fleet job, bit for bit."""
+        from repro.harness.recipes import fleet_run, fleet_summary_json
+
+        fleet_payload = {
+            "spec": {
+                "name": "svc-fleet",
+                "n_rounds": 2,
+                "epochs_per_round": 2,
+                "seed": 5,
+                "nodes": [{"node_id": "n0", "fast_gb": 4.0},
+                          {"node_id": "n1", "fast_gb": 4.0}],
+                "workloads": [
+                    {"key": "a", "kind": "memcached", "service": "LC",
+                     "rss_pages": 120, "n_threads": 1, "accesses_per_thread": 400},
+                    {"key": "b", "kind": "microbench", "service": "BE",
+                     "rss_pages": 90, "n_threads": 1, "accesses_per_thread": 400},
+                ],
+            },
+        }
+        with TieringService(tmp_path / "svc", workers=1) as svc:
+            got = ServiceClient(svc.url).run_to_completion(
+                "fleet", fleet_payload, timeout=120)
+        want = fleet_summary_json(fleet_run(spec=fleet_payload["spec"], workers=1))
+        service_view = {k: v for k, v in got.items() if k != "kind"}
+        assert canonical(service_view) == canonical(want)
+
 
 class TestRestartRecovery:
     def test_clean_stop_requeues_inflight_and_restart_finishes(self, tmp_path):

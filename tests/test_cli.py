@@ -260,3 +260,117 @@ def test_bench_scenario_flag_wired():
 def test_bench_unknown_scenario_rejected():
     with pytest.raises((SystemExit, KeyError)):
         main(["bench", "--scenario", "nonesuch"])
+
+
+# -- fleet ------------------------------------------------------------------------
+
+
+def _tiny_fleet_dict():
+    return {
+        "name": "tinyfleet",
+        "n_rounds": 2,
+        "epochs_per_round": 2,
+        "seed": 5,
+        "policy": "vulcan",
+        "placer": "credit-balance",
+        "nodes": [
+            {"node_id": "n0", "fast_gb": 4.0},
+            {"node_id": "n1", "fast_gb": 4.0},
+            {"node_id": "n2", "fast_gb": 4.0},
+        ],
+        "workloads": [
+            {"key": "a", "kind": "memcached", "service": "LC", "rss_pages": 120,
+             "n_threads": 1, "accesses_per_thread": 400},
+            {"key": "b", "kind": "liblinear", "service": "BE", "rss_pages": 100,
+             "n_threads": 1, "accesses_per_thread": 400},
+            {"key": "c", "kind": "microbench", "service": "BE", "rss_pages": 80,
+             "n_threads": 1, "accesses_per_thread": 400},
+        ],
+        "events": [
+            {"round": 1, "action": "node_drain", "node": "n0"},
+        ],
+    }
+
+
+@pytest.fixture
+def tiny_fleet_file(tmp_path):
+    p = tmp_path / "tinyfleet.json"
+    p.write_text(json.dumps(_tiny_fleet_dict()))
+    return str(p)
+
+
+def test_fleet_list(capsys):
+    assert main(["fleet", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("balanced_trio", "drain_rebalance", "flash_crowd_fleet"):
+        assert name in out
+
+
+def test_fleet_run_spec_file_table(tiny_fleet_file, capsys):
+    assert main(["fleet", "run", "--spec", tiny_fleet_file]) == 0
+    out = capsys.readouterr().out
+    assert "fleet=tinyfleet" in out
+    assert "placer=credit-balance" in out
+    assert "fleet CFI" in out
+
+
+def test_fleet_run_json_and_check(tiny_fleet_file, capsys):
+    assert main(["fleet", "run", "--spec", tiny_fleet_file, "--json", "--check"]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["summary"]["fleet"] == "tinyfleet"
+    assert payload["summary"]["evacuations"] == 1
+    assert "workers_used" not in payload
+    assert len(payload["rounds"]) == 2
+    assert "all fleet checks passed" in captured.err
+
+
+def test_fleet_run_trace_export(tiny_fleet_file, tmp_path, capsys):
+    trace = tmp_path / "f.trace.json"
+    assert main(["fleet", "run", "--spec", tiny_fleet_file, "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    events = json.loads(trace.read_text())["traceEvents"]
+    cats = {e.get("cat", "") for e in events}
+    assert any(c.startswith("fleet_") for c in cats)
+
+
+def test_fleet_run_rejects_name_and_spec_together(tiny_fleet_file):
+    with pytest.raises(SystemExit):
+        main(["fleet", "run", "balanced_trio", "--spec", tiny_fleet_file])
+    with pytest.raises(SystemExit):
+        main(["fleet", "run"])
+
+
+def test_fleet_run_rejects_invalid_spec(tmp_path):
+    bad = _tiny_fleet_dict()
+    bad["events"].append({"round": 1, "action": "node_drain", "node": "n1"})
+    bad["events"].append({"round": 1, "action": "node_drain", "node": "n2"})
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps(bad))
+    with pytest.raises(SystemExit, match="invalid fleet spec"):
+        main(["fleet", "run", "--spec", str(p)])
+
+
+def test_fleet_run_unknown_name_rejected():
+    with pytest.raises(SystemExit):
+        main(["fleet", "run", "nonesuch"])
+
+
+def test_fuzz_fleet_flag_wired():
+    args = build_parser().parse_args(["fuzz", "--fleet", "--runs", "3"])
+    assert args.fleet is True and args.runs == 3
+
+
+def test_bench_fleet_writes_payload_and_check_round_trips(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_fleet.json"
+    assert main(["bench", "--fleet", "--quick", "--output", str(out_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    assert payload["fleet"]["scenario"] == "drain_rebalance"
+    assert payload["timing"]["node_epochs_per_sec"] > 0
+    assert payload["simulated"]["evacuations"] >= 1
+    # a fresh run must pass --check against the file it just wrote
+    assert main([
+        "bench", "--fleet", "--quick",
+        "--output", str(tmp_path / "again.json"), "--check", str(out_path),
+    ]) == 0
